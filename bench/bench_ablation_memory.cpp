@@ -1,0 +1,54 @@
+// Ablation (paper §3.3/§6): the compiler's stride-one scheduling assumption
+// versus stride-aware scheduling, and the memory-disambiguation toggle the
+// paper credits with a 1.32X scalar-code speed-up.
+#include "common.hpp"
+
+using namespace vuv;
+using namespace vuv::bench;
+
+int main() {
+  header("Ablation — stride-aware scheduling and memory disambiguation");
+
+  Sweep sweep;
+  {
+    TextTable t({"mpeg2_enc vector regions", "cycles", "vs stride-one sched"});
+    MachineConfig naive = MachineConfig::vector2(2);
+    const AppResult& rn = sweep.get(App::kMpeg2Enc, naive, false);
+    MachineConfig aware = MachineConfig::vector2(2);
+    aware.name = "Vector2-2w/stride-aware";
+    aware.stride_aware_sched = true;
+    const AppResult& ra = sweep.get(App::kMpeg2Enc, aware, false);
+    t.add_row({"stride-one assumption (paper)", std::to_string(rn.sim.vector_cycles()),
+               "1.00"});
+    t.add_row({"stride-aware scheduling", std::to_string(ra.sim.vector_cycles()),
+               TextTable::num(ratio(rn.sim.vector_cycles(), ra.sim.vector_cycles()))});
+    std::cout << t.to_string()
+              << "\nThe paper schedules every vector access as stride-one and "
+                 "stalls at run time\n(§3.3). Interestingly, stride-aware "
+                 "scheduling does not win here: the stall-on-use\nscoreboard "
+                 "already overlaps the slow transfers, while padding the static "
+                 "schedule\nserializes neighbouring operations — supporting the "
+                 "paper's simpler policy.\n\n";
+  }
+  {
+    TextTable t({"Config (8w VLIW, scalar code)", "app cycles", "speed-up"});
+    MachineConfig with = MachineConfig::vliw(8);
+    MachineConfig without = MachineConfig::vliw(8);
+    without.name = "VLIW-8w/no-disambiguation";
+    without.mem_disambiguation = false;
+    double avg = 0;
+    Cycle cw = 0, cn = 0;
+    for (App a : kApps) {
+      cw += sweep.get(a, with, false).sim.cycles;
+      cn += sweep.get(a, without, false).sim.cycles;
+    }
+    avg = ratio(cn, cw);
+    t.add_row({"conservative memory deps", std::to_string(cn), "1.00"});
+    t.add_row({"alias-group disambiguation", std::to_string(cw), TextTable::num(avg)});
+    std::cout << t.to_string()
+              << "\nPaper: interprocedural disambiguation gives the scalar codes "
+                 "1.32X on the 8-issue\nmachine. Our alias-group model captures "
+                 "the same effect qualitatively.\n";
+  }
+  return 0;
+}

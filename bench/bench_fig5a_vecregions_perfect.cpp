@@ -1,0 +1,41 @@
+// Figure 5a: speed-up of the vector regions over the 2-issue VLIW's vector
+// regions, perfect memory, all ten Table-2 configurations.
+#include "common.hpp"
+
+using namespace vuv;
+using namespace vuv::bench;
+
+int main() {
+  header("Figure 5a — vector-region speed-up, perfect memory");
+
+  Sweep sweep;
+  const auto cfgs = MachineConfig::all_table2();
+  TextTable t({"Benchmark", "VLIW 2/4/8w", "+uSIMD 2/4/8w", "+Vector1 2/4w",
+               "+Vector2 2/4w"});
+  double v2_2w_vs_mu2w = 0, v2_2w_vs_mu8w = 0, v2_4w_vs_mu8w = 0;
+  for (size_t i = 0; i < kApps.size(); ++i) {
+    const AppResult& base = sweep.get(kApps[i], cfgs[0], true);
+    auto su = [&](size_t c) {
+      return ratio(base.sim.vector_cycles(),
+                   sweep.get(kApps[i], cfgs[c], true).sim.vector_cycles());
+    };
+    t.add_row({kAppLabels[i],
+               TextTable::num(su(0)) + " / " + TextTable::num(su(1)) + " / " +
+                   TextTable::num(su(2)),
+               TextTable::num(su(3)) + " / " + TextTable::num(su(4)) + " / " +
+                   TextTable::num(su(5)),
+               TextTable::num(su(6)) + " / " + TextTable::num(su(7)),
+               TextTable::num(su(8)) + " / " + TextTable::num(su(9))});
+    v2_2w_vs_mu2w += su(8) / su(3) / 6.0;
+    v2_2w_vs_mu8w += su(8) / su(5) / 6.0;
+    v2_4w_vs_mu8w += su(9) / su(5) / 6.0;
+  }
+  std::cout << t.to_string() << "\nShape checks (paper):\n"
+            << "  2w Vector2 vs 2w uSIMD : " << TextTable::num(v2_2w_vs_mu2w)
+            << "X  (paper avg 4.4X, range 3.0-6.2X)\n"
+            << "  2w Vector2 vs 8w uSIMD : " << TextTable::num(v2_2w_vs_mu8w)
+            << "X  (paper avg 1.7X, up to 2.6X)\n"
+            << "  4w Vector2 vs 8w uSIMD : " << TextTable::num(v2_4w_vs_mu8w)
+            << "X  (paper avg 2.3X, up to 4.0X)\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 6: complete-application speed-up over the 2-issue VLIW, all ten
+// configurations, realistic memory, plus the suite average.
+#include "common.hpp"
+
+using namespace vuv;
+using namespace vuv::bench;
+
+int main() {
+  header("Figure 6 — complete-application speed-up (realistic memory)");
+
+  // Paper bar values, per app: {VLIW 2/4/8, uSIMD 2/4/8, V1 2/4, V2 2/4}.
+  const double paper[6][10] = {
+      {1.00, 1.44, 1.70, 1.29, 1.71, 1.94, 1.56, 1.95, 1.60, 2.01},  // jpeg_enc
+      {1.00, 1.28, 1.38, 1.07, 1.37, 1.46, 1.19, 1.42, 1.23, 1.48},  // jpeg_dec
+      {1.00, 1.43, 1.77, 2.81, 3.86, 4.47, 3.93, 4.54, 3.90, 4.74},  // mpeg2_enc
+      {1.00, 1.23, 1.24, 1.26, 1.64, 1.74, 1.45, 1.69, 1.45, 1.82},  // mpeg2_dec
+      {1.00, 1.53, 1.79, 1.33, 1.94, 2.17, 1.58, 2.21, 1.58, 2.21},  // gsm_enc
+      {1.00, 1.10, 1.12, 1.03, 1.12, 1.13, 1.04, 1.12, 1.04, 1.13},  // gsm_dec
+  };
+  const double paper_avg[10] = {1.00, 1.34, 1.50, 1.47, 1.94,
+                                2.15, 1.79, 2.15, 1.80, 2.22};
+
+  Sweep sweep;
+  const auto cfgs = MachineConfig::all_table2();
+  TextTable t({"Benchmark", "Config", "Paper", "Measured"});
+  std::array<double, 10> avg{};
+  for (size_t i = 0; i < kApps.size(); ++i) {
+    const AppResult& base = sweep.get(kApps[i], cfgs[0], false);
+    for (size_t c = 0; c < cfgs.size(); ++c) {
+      const double su =
+          ratio(base.sim.cycles, sweep.get(kApps[i], cfgs[c], false).sim.cycles);
+      avg[c] += su / 6.0;
+      t.add_row({c == 0 ? kAppLabels[i] : "", cfgs[c].name,
+                 TextTable::num(paper[i][c]), TextTable::num(su)});
+    }
+  }
+  for (size_t c = 0; c < cfgs.size(); ++c)
+    t.add_row({c == 0 ? "AVERAGE" : "", cfgs[c].name,
+               TextTable::num(paper_avg[c]), TextTable::num(avg[c])});
+  std::cout << t.to_string()
+            << "\nKey shape checks: 4w Vector2 ~ matches/exceeds 8w uSIMD; "
+               "mpeg2_enc gains most;\ngsm_dec is insensitive (0.9% "
+               "vectorization); gaps shrink as issue width grows.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 3: operations per cycle (OPC), micro-operations per cycle (uOPC)
+// and speed-up for the scalar regions, the vector regions and the complete
+// applications — averaged over the suite, realistic memory.
+#include "common.hpp"
+
+using namespace vuv;
+using namespace vuv::bench;
+
+namespace {
+
+struct Row {
+  const char* name;
+  MachineConfig cfg;
+  // paper values: scalar OPC/SP, vector OPC/uOPC/SP, app OPC/uOPC/SP
+  double p[8];
+};
+
+}  // namespace
+
+int main() {
+  header("Table 3 — OPC / uOPC / speed-up (averages over the suite)");
+
+  std::vector<Row> rows = {
+      {"2w VLIW", MachineConfig::vliw(2), {1.44, 1.00, 1.80, 1.80, 1.00, 1.59, 1.59, 1.00}},
+      {"  +uSIMD", MachineConfig::musimd(2), {1.44, 1.00, 1.78, 4.68, 2.88, 1.52, 2.32, 1.47}},
+      {"  +Vector1", MachineConfig::vector1(2), {1.44, 1.00, 0.87, 7.91, 9.33, 1.36, 2.12, 1.79}},
+      {"  +Vector2", MachineConfig::vector2(2), {1.44, 1.00, 0.98, 10.10, 10.61, 1.37, 2.15, 1.80}},
+      {"4w VLIW", MachineConfig::vliw(4), {1.77, 1.24, 3.03, 3.03, 1.66, 2.14, 2.14, 1.34}},
+      {"  +uSIMD", MachineConfig::musimd(4), {1.78, 1.24, 2.95, 7.80, 4.62, 1.98, 3.05, 1.94}},
+      {"  +Vector1", MachineConfig::vector1(4), {1.71, 1.20, 1.24, 11.64, 12.87, 1.63, 2.55, 2.15}},
+      {"  +Vector2", MachineConfig::vector2(4), {1.76, 1.23, 1.37, 14.00, 14.09, 1.69, 2.64, 2.22}},
+      {"8w VLIW", MachineConfig::vliw(8), {1.84, 1.28, 4.54, 4.54, 2.47, 2.42, 2.42, 1.50}},
+      {"  +uSIMD", MachineConfig::musimd(8), {1.84, 1.29, 4.47, 12.07, 6.76, 2.18, 3.38, 2.15}},
+  };
+
+  Sweep sweep;
+  // Baselines: the 2-issue VLIW per app.
+  std::vector<const AppResult*> base;
+  for (App a : kApps) base.push_back(&sweep.get(a, MachineConfig::vliw(2), false));
+
+  TextTable t({"Config", "", "Scalar OPC", "SP", "Vector OPC", "uOPC", "SP",
+               "App OPC", "uOPC", "SP"});
+  for (const Row& row : rows) {
+    double sc_opc = 0, sc_sp = 0, v_opc = 0, v_uopc = 0, v_sp = 0;
+    double a_opc = 0, a_uopc = 0, a_sp = 0;
+    for (size_t i = 0; i < kApps.size(); ++i) {
+      const AppResult& r = sweep.get(kApps[i], row.cfg, false);
+      const SimResult& s = r.sim;
+      i64 sc_ops = s.regions[0].ops, v_ops = 0, v_uops = 0;
+      for (size_t k = 1; k < s.regions.size(); ++k) {
+        v_ops += s.regions[k].ops;
+        v_uops += s.regions[k].uops;
+      }
+      sc_opc += static_cast<double>(sc_ops) / static_cast<double>(s.scalar_cycles()) / 6;
+      sc_sp += ratio(base[i]->sim.scalar_cycles(), s.scalar_cycles()) / 6;
+      v_opc += static_cast<double>(v_ops) / static_cast<double>(s.vector_cycles()) / 6;
+      v_uopc += static_cast<double>(v_uops) / static_cast<double>(s.vector_cycles()) / 6;
+      v_sp += ratio(base[i]->sim.vector_cycles(), s.vector_cycles()) / 6;
+      a_opc += static_cast<double>(s.total_ops()) / static_cast<double>(s.cycles) / 6;
+      a_uopc += static_cast<double>(s.total_uops()) / static_cast<double>(s.cycles) / 6;
+      a_sp += ratio(base[i]->sim.cycles, s.cycles) / 6;
+    }
+    t.add_row({row.name, "paper", TextTable::num(row.p[0]), TextTable::num(row.p[1]),
+               TextTable::num(row.p[2]), TextTable::num(row.p[3]),
+               TextTable::num(row.p[4]), TextTable::num(row.p[5]),
+               TextTable::num(row.p[6]), TextTable::num(row.p[7])});
+    t.add_row({"", "measured", TextTable::num(sc_opc), TextTable::num(sc_sp),
+               TextTable::num(v_opc), TextTable::num(v_uopc), TextTable::num(v_sp),
+               TextTable::num(a_opc), TextTable::num(a_uopc), TextTable::num(a_sp)});
+  }
+  std::cout << t.to_string()
+            << "\nPaper headline: Vector ISA reaches the highest uOPC in vector "
+               "regions with the\nlowest fetch bandwidth (OPC ~1.37); scalar "
+               "regions never exceed ~1.84 OPC.\n";
+  return 0;
+}

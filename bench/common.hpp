@@ -1,0 +1,51 @@
+// Shared sweep driver for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace vuv {
+namespace bench {
+
+inline const std::vector<App> kApps = all_apps();
+
+inline const char* kAppLabels[] = {"JPEG_ENC",  "JPEG_DEC", "MPEG2_ENC",
+                                   "MPEG2_DEC", "GSM_ENC",  "GSM_DEC"};
+
+/// Run (and cache) one app on one configuration.
+class Sweep {
+ public:
+  const AppResult& get(App app, const MachineConfig& cfg, bool perfect) {
+    const std::string key =
+        std::string(app_name(app)) + "|" + cfg.name + "|" + (perfect ? "p" : "r");
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    AppResult r = run_app(app, cfg, perfect);
+    if (!r.verified) {
+      std::cerr << "VERIFICATION FAILED: " << r.app << " on " << cfg.name << ": "
+                << r.verify_error << "\n";
+      std::abort();
+    }
+    return cache_.emplace(key, std::move(r)).first->second;
+  }
+
+ private:
+  std::map<std::string, AppResult> cache_;
+};
+
+inline double ratio(Cycle a, Cycle b) {
+  return static_cast<double>(a) / static_cast<double>(b);
+}
+
+inline void header(const char* what) {
+  std::cout << "==================================================================\n"
+            << what << "\n"
+            << "Vector-uSIMD-VLIW reproduction (Salami & Valero, ICPP 2005)\n"
+            << "==================================================================\n";
+}
+
+}  // namespace bench
+}  // namespace vuv

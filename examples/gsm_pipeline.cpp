@@ -1,0 +1,34 @@
+// Run the GSM-like speech encoder and decoder end to end on a vector
+// machine: encode synthetic speech, decode it, and report region-level
+// timing for both directions.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+using namespace vuv;
+
+int main() {
+  const MachineConfig cfg = MachineConfig::vector1(2);
+  TextTable t({"App", "verified", "cycles", "%vect", "R1 (LTP/LT-filter)",
+               "R2 (autocorr)", "scalar R0"});
+  for (App app : {App::kGsmEnc, App::kGsmDec}) {
+    const AppResult r = run_app(app, cfg);
+    const SimResult& s = r.sim;
+    t.add_row({r.app, r.verified ? "yes" : r.verify_error,
+               std::to_string(s.cycles),
+               TextTable::num(100.0 * static_cast<double>(s.vector_cycles()) /
+                              static_cast<double>(s.cycles), 1) + "%",
+               std::to_string(s.regions.size() > 1 ? s.regions[1].cycles : 0),
+               std::to_string(s.regions.size() > 2 ? s.regions[2].cycles : 0),
+               std::to_string(s.regions[0].cycles)});
+  }
+  std::cout << "GSM-like full-rate codec on " << cfg.name
+            << " (4 frames, 640 samples)\n\n"
+            << t.to_string()
+            << "\nThe decoder is dominated by the scalar synthesis lattice "
+               "(first-order\nrecurrences) — the reason the paper reports only "
+               "0.91% vectorization for\ngsm_dec and why no amount of vector "
+               "hardware helps it (Fig. 6).\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Run the complete jpeg_enc application on the three ISA levels and print a
+// per-region comparison — a miniature of the paper's evaluation flow.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+using namespace vuv;
+
+int main() {
+  const MachineConfig cfgs[] = {MachineConfig::vliw(2), MachineConfig::musimd(2),
+                                MachineConfig::vector2(2)};
+  TextTable t({"Config", "verified", "cycles", "ops", "uops", "%vect",
+               "R1 colorconv", "R2 fdct", "R3 quant"});
+  for (const MachineConfig& cfg : cfgs) {
+    const AppResult r = run_app(App::kJpegEnc, cfg);
+    const SimResult& s = r.sim;
+    t.add_row({cfg.name, r.verified ? "yes" : ("NO: " + r.verify_error),
+               std::to_string(s.cycles), std::to_string(s.total_ops()),
+               std::to_string(s.total_uops()),
+               TextTable::num(100.0 * static_cast<double>(s.vector_cycles()) /
+                              static_cast<double>(s.cycles), 1) + "%",
+               std::to_string(s.regions[1].cycles),
+               std::to_string(s.regions[2].cycles),
+               std::to_string(s.regions[3].cycles)});
+  }
+  std::cout << "jpeg_enc (64x64 RGB, 4:2:0) across ISA levels, realistic memory\n\n"
+            << t.to_string()
+            << "\nEvery configuration produces the same bit stream as the "
+               "golden encoder;\nonly the cycle counts differ.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: write a small Vector-µSIMD program with the builder API,
+// compile it for a Table-2 machine, simulate it cycle by cycle, and inspect
+// the results.
+//
+// The program computes a saturating brightness boost over a 1 KB pixel
+// buffer: out[i] = sat_u8(in[i] + 24), 128 bytes (16 x 64-bit words) per
+// vector operation.
+#include <iostream>
+
+#include "ir/builder.hpp"
+#include "mem/mainmem.hpp"
+#include "sim/cpu.hpp"
+
+using namespace vuv;
+
+int main() {
+  // ---- stage input data in simulated memory --------------------------------
+  Workspace ws;
+  Buffer in = ws.alloc(1024), out = ws.alloc(1024);
+  std::vector<u8> pixels(1024);
+  for (size_t i = 0; i < pixels.size(); ++i) pixels[i] = static_cast<u8>(i * 7 % 256);
+  ws.write_u8(in, pixels);
+
+  // ---- hand-write the program (the paper's emulation-library style) --------
+  ProgramBuilder b;
+  b.setvl(16);  // 16 x 64-bit words per vector register
+  b.setvs(8);   // stride-one
+  Reg src = b.movi(in.addr);
+  Reg dst = b.movi(out.addr);
+  Reg boost = b.vld(b.movi(ws.alloc(128).addr), 0, 0);  // zeros; replaced below
+  (void)boost;
+  // Constant vector of 24s, staged by the host:
+  Buffer c = ws.alloc(128);
+  for (int e = 0; e < 16; ++e) ws.mem().store(c.addr + 8 * e, 8, 0x1818181818181818ull);
+  Reg cvec = b.vld(b.movi(c.addr), 0, c.group);
+  b.for_range(0, 8, 1, [&](Reg i) {  // 8 chunks of 128 bytes
+    Reg off = b.slli(i, 7);
+    Reg v = b.vld(b.add(src, off), 0, in.group);
+    Reg sum = b.v2(Opcode::V_PADDUSB, v, cvec);  // saturating byte add
+    b.vst(sum, b.add(dst, off), 0, out.group);
+  });
+
+  // ---- compile + simulate ----------------------------------------------------
+  const MachineConfig cfg = MachineConfig::vector2(2);
+  SimResult r = run_program(b.take(), cfg, ws.mem());
+
+  std::cout << "config:         " << cfg.name << "\n"
+            << "cycles:         " << r.cycles << "\n"
+            << "operations:     " << r.total_ops() << "\n"
+            << "micro-ops:      " << r.total_uops() << "\n"
+            << "stall cycles:   " << r.stall_cycles << "\n"
+            << "L2 vector hits: " << r.mem.l2_hits << "\n";
+
+  const auto got = ws.read_u8(out, 1024);
+  for (size_t i = 0; i < got.size(); ++i) {
+    const int expect = std::min(255, pixels[i] + 24);
+    if (got[i] != expect) {
+      std::cerr << "MISMATCH at " << i << "\n";
+      return 1;
+    }
+  }
+  std::cout << "output verified: sat_u8(in + 24) for all 1024 pixels\n";
+  return 0;
+}

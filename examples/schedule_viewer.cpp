@@ -1,0 +1,65 @@
+// Figure 4 reproduction: the static schedule of the motion-estimation SAD
+// kernel (mpeg2_enc dist1) on a 2-issue Vector-µSIMD-VLIW with two vector
+// units and a 4x64-bit L2 port.
+//
+// Prints one line per VLIW instruction with the operations issued in each
+// cycle — the same information as the paper's Figure 4 (chaining between
+// the vector loads and the SAD accumulations, second vector unit idle).
+#include <iostream>
+
+#include "ir/builder.hpp"
+#include "sched/schedule.hpp"
+
+using namespace vuv;
+
+int main() {
+  // The kernel of paper Fig. 4: SAD between two 8x16-pixel blocks whose
+  // rows are `lx` bytes apart. Registers R1/R2 hold the block addresses.
+  ProgramBuilder b;
+  const int lx = 64;
+  Reg r1 = b.movi(0x1000);
+  Reg r2 = b.movi(0x2000);
+  Reg r7 = b.movi(0x3000);
+
+  b.setvs(lx);  // VS = lx
+  b.setvl(8);   // VL = 8 rows
+  Reg a1 = b.clracc();
+  Reg a2 = b.clracc();
+  Reg v1 = b.vld(r1, 0, 1);   // V1 = [R1]
+  Reg v2 = b.vld(r2, 0, 2);   // V2 = [R2]
+  Reg v3 = b.vld(r1, 8, 1);   // V3 = [R3 = R1+8]
+  Reg v4 = b.vld(r2, 8, 2);   // V4 = [R4 = R2+8]
+  b.vsadacc(a1, v1, v2);      // A1 = SAD(V1,V2)
+  b.vsadacc(a2, v3, v4);      // A2 = SAD(V3,V4)
+  Reg r5 = b.sumacb(a1);      // R5 = SUM(A1)
+  Reg r6 = b.sumacb(a2);      // R6 = SUM(A2)
+  Reg sum = b.add(r5, r6);    // R5 = R5 + R6
+  b.std_(sum, r7, 0, 3);      // [R7] = R5
+
+  MachineConfig cfg = MachineConfig::vector2(2);
+  const ScheduledProgram sp = compile(b.take(), cfg);
+
+  std::cout << "Motion-estimation kernel schedule on " << cfg.name
+            << " (2 vector units, 4x64b L2 port)\n"
+            << "VL=8, VS=lx (" << lx << " bytes) — compare with paper Fig. 4\n\n";
+  for (size_t blk = 0; blk < sp.blocks.size(); ++blk) {
+    const BlockSchedule& bs = sp.blocks[blk];
+    if (bs.words.empty()) continue;
+    std::cout << "block B" << blk << " (" << bs.length << " cycles):\n";
+    for (const VliwWord& w : bs.words) {
+      std::cout << "  cycle " << w.cycle << ": ";
+      bool first = true;
+      for (i32 oi : w.ops) {
+        if (!first) std::cout << "  ||  ";
+        first = false;
+        std::cout << to_string(sp.prog.blocks[blk].ops[static_cast<size_t>(oi)]);
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "\nNote the chained vsad.acc issuing " << int(op_info(Opcode::VLD).latency)
+            << " cycles after its vld producer, before the load completes\n"
+            << "(paper §3.3 chaining), and sumac.b waiting for the full "
+               "accumulator.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "apps/apps.hpp"
+
+#include "common/error.hpp"
+
+namespace vuv {
+
+const char* app_name(App a) {
+  switch (a) {
+    case App::kJpegEnc: return "jpeg_enc";
+    case App::kJpegDec: return "jpeg_dec";
+    case App::kMpeg2Enc: return "mpeg2_enc";
+    case App::kMpeg2Dec: return "mpeg2_dec";
+    case App::kGsmEnc: return "gsm_enc";
+    case App::kGsmDec: return "gsm_dec";
+  }
+  return "?";
+}
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kScalar: return "scalar";
+    case Variant::kMusimd: return "musimd";
+    case Variant::kVector: return "vector";
+  }
+  return "?";
+}
+
+std::vector<App> all_apps() {
+  return {App::kJpegEnc, App::kJpegDec, App::kMpeg2Enc,
+          App::kMpeg2Dec, App::kGsmEnc, App::kGsmDec};
+}
+
+Variant variant_for(IsaLevel lvl) {
+  switch (lvl) {
+    case IsaLevel::kScalar: return Variant::kScalar;
+    case IsaLevel::kMusimd: return Variant::kMusimd;
+    case IsaLevel::kVector: return Variant::kVector;
+  }
+  return Variant::kScalar;
+}
+
+BuiltApp build_app(App app, Variant variant) {
+  switch (app) {
+    case App::kJpegEnc: return build_jpeg_enc(variant);
+    case App::kJpegDec: return build_jpeg_dec(variant);
+    case App::kMpeg2Enc: return build_mpeg2_enc(variant);
+    case App::kMpeg2Dec: return build_mpeg2_dec(variant);
+    case App::kGsmEnc: return build_gsm_enc(variant);
+    case App::kGsmDec: return build_gsm_dec(variant);
+  }
+  throw InternalError("bad app");
+}
+
+}  // namespace vuv

@@ -1,0 +1,49 @@
+// The six benchmark applications (paper Table 1), each hand-written in
+// three ISA variants against the ProgramBuilder API — the equivalent of the
+// paper's emulation-library methodology. Vector regions are marked with the
+// region ids of Table 1 (R1..R3); everything else is the scalar region R0.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ir/program.hpp"
+#include "mem/mainmem.hpp"
+#include "sim/machine_config.hpp"
+
+namespace vuv {
+
+enum class App { kJpegEnc, kJpegDec, kMpeg2Enc, kMpeg2Dec, kGsmEnc, kGsmDec };
+enum class Variant { kScalar, kMusimd, kVector };
+
+const char* app_name(App a);
+const char* variant_name(Variant v);
+std::vector<App> all_apps();
+
+/// The code variant a machine configuration runs (paper methodology: each
+/// architecture runs the best code its ISA supports).
+Variant variant_for(IsaLevel lvl);
+
+struct BuiltApp {
+  std::string name;
+  Program program;
+  std::unique_ptr<Workspace> ws;
+  /// Returns "" when the simulated outputs match the golden codec, else a
+  /// description of the first mismatch.
+  std::function<std::string(const Workspace&)> verify;
+};
+
+/// Construct the program + workspace + verifier for one app/variant.
+BuiltApp build_app(App app, Variant variant);
+
+// Per-app builders (implemented in jpeg_app.cpp / mpeg2_app.cpp /
+// gsm_app.cpp).
+BuiltApp build_jpeg_enc(Variant v);
+BuiltApp build_jpeg_dec(Variant v);
+BuiltApp build_mpeg2_enc(Variant v);
+BuiltApp build_mpeg2_dec(Variant v);
+BuiltApp build_gsm_enc(Variant v);
+BuiltApp build_gsm_dec(Variant v);
+
+}  // namespace vuv

@@ -1,0 +1,131 @@
+#include "apps/coding.hpp"
+
+#include "media/dct.hpp"
+
+namespace vuv {
+
+namespace {
+
+int pos_golden(int v, int u) {
+  const auto& p = fdct_table().perm;
+  return p[static_cast<size_t>(v)] * 8 + p[static_cast<size_t>(u)];
+}
+
+int pos_packed(int v, int u) {
+  const auto& p = fdct_table().perm;
+  return p[static_cast<size_t>(u)] * 8 + p[static_cast<size_t>(v)];
+}
+
+}  // namespace
+
+std::vector<i32> zz_byte_offsets(CoefLayout layout) {
+  const auto& vu = dct_zigzag_vu();
+  std::vector<i32> out(64);
+  for (int k = 0; k < 64; ++k) {
+    const int v = vu[static_cast<size_t>(k)].first;
+    const int u = vu[static_cast<size_t>(k)].second;
+    switch (layout) {
+      case CoefLayout::kGolden:
+        out[static_cast<size_t>(k)] = 2 * pos_golden(v, u);
+        break;
+      case CoefLayout::kPacked:
+        out[static_cast<size_t>(k)] = 2 * pos_packed(v, u);
+        break;
+      case CoefLayout::kStripe: {
+        const int p = pos_packed(v, u);
+        out[static_cast<size_t>(k)] = (p / 4) * 64 + (p % 4) * 2;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::array<i16, 64> table_packed(const std::array<i16, 64>& golden) {
+  std::array<i16, 64> out{};
+  for (int v = 0; v < 8; ++v)
+    for (int u = 0; u < 8; ++u)
+      out[static_cast<size_t>(pos_packed(v, u))] =
+          golden[static_cast<size_t>(pos_golden(v, u))];
+  return out;
+}
+
+void write_stripe_table(Workspace& ws, const Buffer& buf,
+                        const std::array<i16, 64>& golden) {
+  // Same addressing as a coefficient stripe: slot word s at s*64, replicated
+  // across the 8 block elements.
+  const std::array<i16, 64> packed = table_packed(golden);
+  for (int s = 0; s < 16; ++s) {
+    u64 word = 0;
+    for (int l = 0; l < 4; ++l)
+      word |= static_cast<u64>(static_cast<u16>(packed[static_cast<size_t>(s * 4 + l)]))
+              << (16 * l);
+    for (int e = 0; e < 8; ++e)
+      ws.mem().store(buf.addr + static_cast<Addr>(s * 64 + e * 8), 8, word);
+  }
+}
+
+void emit_encode_block(ProgramBuilder& b, BitWriterEmit& bw, Reg base,
+                       u16 coef_group, Reg zzlut, u16 lut_group, Reg dcpred) {
+  // DC coefficient.
+  Reg off0 = b.ldw(zzlut, 0, lut_group);
+  Reg dc = b.ldh(b.add(base, off0), 0, coef_group);
+  Reg diff = b.sub(dc, dcpred);
+  b.mov_to(dcpred, dc);
+  Reg dsize = emit_bitsize(b, b.abs_(diff));
+  emit_put_gamma(b, bw, b.addi(dsize, 1));
+  bw.put_reg(b, emit_magnitude_bits(b, diff, dsize), dsize);
+
+  // AC run/size coding.
+  Reg run = b.movi(0);
+  Reg zero = b.movi(0);
+  b.for_range(1, 64, 1, [&](Reg k) {
+    Reg off = b.ldw(b.add(zzlut, b.slli(k, 2)), 0, lut_group);
+    Reg c = b.ldh(b.add(base, off), 0, coef_group);
+    b.unless(Opcode::BEQ, c, zero, [&] {
+      Reg size = emit_bitsize(b, b.abs_(c));
+      Reg sym = b.addi(b.add(b.slli(run, 4), size), 2);
+      emit_put_gamma(b, bw, sym);
+      bw.put_reg(b, emit_magnitude_bits(b, c, size), size);
+      b.mov_to(run, zero);
+    });
+    b.unless(Opcode::BNE, c, zero, [&] { b.addi_to(run, run, 1); });
+  });
+  emit_put_gamma(b, bw, b.movi(1));  // end of block
+}
+
+void emit_decode_block(ProgramBuilder& b, BitReaderEmit& br, Reg base,
+                       u16 coef_group, Reg zzlut, u16 lut_group, Reg dcpred) {
+  Reg dsize = b.addi(br.gamma(b), -1);
+  Reg diff = emit_magnitude_decode(b, br.get_reg(b, dsize), dsize);
+  b.mov_to(dcpred, b.add(dcpred, diff));
+  Reg off0 = b.ldw(zzlut, 0, lut_group);
+  b.sth(dcpred, b.add(base, off0), 0, coef_group);
+
+  Reg k = b.movi(1);
+  Reg one = b.movi(1);
+  Reg brk = b.movi(0);
+  Reg zero = b.movi(0);
+  emit_loop_until(b, Opcode::BNE, brk, zero, [&] {
+    Reg g = br.gamma(b);
+    b.unless(Opcode::BNE, g, one, [&] { b.mov_to(brk, one); });
+    b.unless(Opcode::BEQ, g, one, [&] {
+      Reg s = b.addi(g, -2);
+      b.mov_to(k, b.add(k, b.srli(s, 4)));
+      Reg size = b.andi(s, 15);
+      Reg val = emit_magnitude_decode(b, br.get_reg(b, size), size);
+      Reg off = b.ldw(b.add(zzlut, b.slli(k, 2)), 0, lut_group);
+      b.sth(val, b.add(base, off), 0, coef_group);
+      b.addi_to(k, k, 1);
+    });
+  });
+}
+
+void emit_memzero(ProgramBuilder& b, Reg base, i64 bytes, u16 group) {
+  Reg zero = b.movi(0);
+  b.for_range(0, bytes / 8, 1, [&](Reg i) {
+    b.std_(zero, b.add(base, b.slli(i, 3)), 0, group);
+  });
+}
+
+}  // namespace vuv

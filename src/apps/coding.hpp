@@ -1,0 +1,45 @@
+// Shared entropy-coding emitters and coefficient-layout tables used by the
+// JPEG-like and MPEG2-like applications. The three ISA variants store DCT
+// coefficients in different memory layouts; the scalar entropy code walks
+// them through layout-specific zigzag offset tables (host-prepared LUTs in
+// simulated memory), producing bit-identical streams.
+#pragma once
+
+#include "apps/emit.hpp"
+#include "mem/mainmem.hpp"
+
+namespace vuv {
+
+enum class CoefLayout {
+  kGolden,  // row-major block, coeff (v,u) at halfword perm[v]*8+perm[u]
+  kPacked,  // µSIMD in-register transform: halfword perm[u]*8+perm[v]
+  kStripe,  // vector batch: word (2*perm[u]+perm[v]/4)*64B + lane perm[v]%4
+};
+
+/// Zigzag-order byte offsets of the 64 coefficients within one block
+/// (relative to the block's base address in the given layout).
+std::vector<i32> zz_byte_offsets(CoefLayout layout);
+
+/// Re-index a golden (position-indexed) per-coefficient table into the
+/// packed layout (used for µSIMD quantizer reciprocal/step LUTs).
+std::array<i16, 64> table_packed(const std::array<i16, 64>& golden);
+
+/// Write the stripe-layout constant vectors of a per-coefficient table:
+/// 16 slot words, each replicated for 16 elements (1024 bytes).
+void write_stripe_table(Workspace& ws, const Buffer& buf,
+                        const std::array<i16, 64>& golden);
+
+/// Encode one quantized block (DC prediction + run/size gamma codes +
+/// magnitude bits), bit-identical to media jpeg/mpeg2 encode_block.
+/// `dcpred` is a register updated in place.
+void emit_encode_block(ProgramBuilder& b, BitWriterEmit& bw, Reg base,
+                       u16 coef_group, Reg zzlut, u16 lut_group, Reg dcpred);
+
+/// Decode one block into pre-zeroed coefficient storage.
+void emit_decode_block(ProgramBuilder& b, BitReaderEmit& br, Reg base,
+                       u16 coef_group, Reg zzlut, u16 lut_group, Reg dcpred);
+
+/// Zero `bytes` bytes at `base` with 64-bit stores (scalar loop).
+void emit_memzero(ProgramBuilder& b, Reg base, i64 bytes, u16 group);
+
+}  // namespace vuv

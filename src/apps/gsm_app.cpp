@@ -1,0 +1,531 @@
+// gsm_enc / gsm_dec applications in the three ISA variants.
+//
+// Encoder regions (paper Table 1): R1 LTP parameters (lag/gain search,
+// short-term-residual filtering and history update), R2 autocorrelation.
+// Scalar: pre-emphasis and the short-term lattice filters (first-order
+// recurrences), reflection coefficients (integer division), RPE/APCM and
+// bit packing. Decoder region: R1 long-term filtering; the synthesis
+// lattice and de-emphasis recurrences are scalar (hence the paper's 0.91%
+// vectorization for gsm_dec).
+#include "apps/apps.hpp"
+#include "apps/coding.hpp"
+#include "apps/emit.hpp"
+#include "common/error.hpp"
+#include "media/gsm.hpp"
+#include "media/workload.hpp"
+
+namespace vuv {
+
+namespace {
+
+constexpr i32 kNFrames = 4;
+constexpr i32 kChunks[3] = {16, 16, 6};  // 38 words = samples 8..159
+
+Reg emit_sat16(ProgramBuilder& b, Reg v, Reg lo, Reg hi) {
+  return b.min_(b.max_(v, lo), hi);
+}
+
+/// Scalar (b*x)>>15 — matches mult_q15.
+Reg emit_q15(ProgramBuilder& b, Reg x, Reg y) {
+  return b.srai(b.mul(x, y), 15);
+}
+
+struct GsmBufs {
+  Buffer pcm, s, d, dp, acf, reflq, e, ep, out, qlb, qlbsplat, qlbvec, dlb, meta;
+};
+
+/// µSIMD (b*x)>>15 per halfword lane: PMULHH/PMULLH recombination.
+Reg emit_q15_packed(ProgramBuilder& b, bool vector, Reg xw, Reg bw) {
+  auto op2 = [&](Opcode o, Reg p, Reg q) {
+    if (!vector) return b.m2(o, p, q);
+    const u16 d = static_cast<u16>(Opcode::V_PADDB) - static_cast<u16>(Opcode::M_PADDB);
+    return b.v2(static_cast<Opcode>(static_cast<u16>(o) + d), p, q);
+  };
+  auto op1 = [&](Opcode o, Reg p, i64 imm) {
+    if (!vector) return b.mi(o, p, imm);
+    const u16 d = static_cast<u16>(Opcode::V_PADDB) - static_cast<u16>(Opcode::M_PADDB);
+    return b.vi(static_cast<Opcode>(static_cast<u16>(o) + d), p, imm);
+  };
+  Reg hi = op2(Opcode::M_PMULHH, xw, bw);
+  Reg lo = op2(Opcode::M_PMULLH, xw, bw);
+  return op2(Opcode::M_POR, op1(Opcode::M_PSLLH, hi, 1), op1(Opcode::M_PSRLH, lo, 15));
+}
+
+/// R2: autocorrelation acf[0..8] over samples 8..159 of sbuf.
+void emit_autocorr(ProgramBuilder& b, Variant var, Reg sbuf, u16 sg, Reg acf,
+                   u16 ag) {
+  Reg s8 = b.addi(sbuf, 16);  // sample 8
+  for (int k = 0; k <= kGsmOrder; ++k) {
+    if (var == Variant::kScalar) {
+      Reg sum = b.movi(0);
+      b.for_range(0, kGsmFrame - kGsmOrder, 1, [&](Reg n) {
+        Reg a = b.ldh(b.add(s8, b.slli(n, 1)), 0, sg);
+        Reg c = b.ldh(b.add(s8, b.slli(n, 1)), -2 * k, sg);
+        b.mov_to(sum, b.add(sum, b.mul(a, c)));
+      });
+      b.std_(sum, acf, 8 * k, ag);
+    } else if (var == Variant::kMusimd) {
+      // Statically unrolled with two parallel accumulator chains (a single
+      // 38-deep PADDW chain would serialize the schedule at any width).
+      std::array<Reg, 2> accw{b.movis(0), b.movis(0)};
+      for (int i = 0; i < 38; ++i) {
+        Reg a = b.ldqs(s8, 8 * i, sg);
+        Reg c = b.ldqs(s8, 8 * i - 2 * k, sg);
+        accw[static_cast<size_t>(i % 2)] = b.m2(
+            Opcode::M_PADDW, accw[static_cast<size_t>(i % 2)], b.m2(Opcode::M_PMADDH, a, c));
+      }
+      Reg w = b.movs2i(b.m2(Opcode::M_PADDW, accw[0], accw[1]));
+      Reg lo = b.srai(b.slli(w, 32), 32);
+      Reg hi = b.srai(w, 32);
+      b.std_(b.add(lo, hi), acf, 8 * k, ag);
+    } else {
+      b.setvs(8);
+      Reg acc = b.clracc();
+      i64 off = 0;
+      for (int chunk = 0; chunk < 3; ++chunk) {
+        b.setvl(kChunks[chunk]);
+        Reg a = b.vld(s8, off, sg);
+        Reg c = b.vld(s8, off - 2 * k, sg);
+        b.vmach(acc, a, c);
+        off += kChunks[chunk] * 8;
+      }
+      b.std_(b.sumach(acc), acf, 8 * k, ag);
+    }
+  }
+}
+
+/// Cross-correlation of 40 halfwords at `da` with 40 at `db` (R1 kernel).
+Reg emit_cross40(ProgramBuilder& b, Variant var, Reg da, u16 dag, Reg db,
+                 u16 dbg) {
+  if (var == Variant::kScalar) {
+    Reg sum = b.movi(0);
+    b.for_range(0, kGsmSub, 1, [&](Reg i) {
+      Reg x = b.ldh(b.add(da, b.slli(i, 1)), 0, dag);
+      Reg y = b.ldh(b.add(db, b.slli(i, 1)), 0, dbg);
+      b.mov_to(sum, b.add(sum, b.mul(x, y)));
+    });
+    return sum;
+  }
+  if (var == Variant::kMusimd) {
+    // Two 5-word halves so 32-bit lanes cannot overflow (|d| <= 14000).
+    Reg sum = b.movi(0);
+    for (int half = 0; half < 2; ++half) {
+      Reg accw = b.movis(0);
+      for (int i = 5 * half; i < 5 * (half + 1); ++i) {
+        Reg x = b.ldqs(da, 8 * i, dag);
+        Reg y = b.ldqs(db, 8 * i, dbg);
+        accw = b.m2(Opcode::M_PADDW, accw, b.m2(Opcode::M_PMADDH, x, y));
+      }
+      Reg w = b.movs2i(accw);
+      sum = b.add(sum, b.add(b.srai(b.slli(w, 32), 32), b.srai(w, 32)));
+    }
+    return sum;
+  }
+  b.setvl(10);
+  b.setvs(8);
+  Reg acc = b.clracc();
+  b.vmach(acc, b.vld(da, 0, dag), b.vld(db, 0, dbg));
+  return b.sumach(acc);
+}
+
+/// Elementwise o[i] = sat(x[i] +/- (bq * y[i])>>15) over 40 halfwords.
+/// The subtract form (residual e) saturates at 16 bits; the add form
+/// (reconstructed-history update) additionally clamps to +/-14000 (see
+/// media/gsm.cpp sat_d). For the packed variants, `clamp_hi/lo` hold splat
+/// words of +/-14000 when !subtract.
+void emit_ltp_filter40(ProgramBuilder& b, Variant var, bool subtract, Reg xbuf,
+                       u16 xg, Reg ybuf, u16 yg, Reg obuf, u16 og, Reg bsplat,
+                       Reg bval, Reg clamp_hi = {}, Reg clamp_lo = {}) {
+  if (var == Variant::kScalar) {
+    Reg lo = b.movi(subtract ? -32768 : -14000);
+    Reg hi = b.movi(subtract ? 32767 : 14000);
+    b.for_range(0, kGsmSub, 1, [&](Reg i) {
+      Reg off = b.slli(i, 1);
+      Reg x = b.ldh(b.add(xbuf, off), 0, xg);
+      Reg y = b.ldh(b.add(ybuf, off), 0, yg);
+      Reg t = emit_q15(b, bval, y);
+      Reg v = subtract ? b.sub(x, t) : b.add(x, t);
+      b.sth(emit_sat16(b, v, lo, hi), b.add(obuf, off), 0, og);
+    });
+    return;
+  }
+  const Opcode combine = subtract ? Opcode::M_PSUBSH : Opcode::M_PADDSH;
+  if (var == Variant::kMusimd) {
+    for (int i = 0; i < 10; ++i) {
+      Reg x = b.ldqs(xbuf, 8 * i, xg);
+      Reg y = b.ldqs(ybuf, 8 * i, yg);
+      Reg t = emit_q15_packed(b, false, y, bsplat);
+      Reg v = b.m2(combine, x, t);
+      if (!subtract)
+        v = b.m2(Opcode::M_PMAXSH, b.m2(Opcode::M_PMINSH, v, clamp_hi), clamp_lo);
+      b.stqs(v, obuf, 8 * i, og);
+    }
+    return;
+  }
+  b.setvl(10);
+  b.setvs(8);
+  const u16 d = static_cast<u16>(Opcode::V_PADDB) - static_cast<u16>(Opcode::M_PADDB);
+  auto v2 = [&](Opcode o, Reg p, Reg q) {
+    return b.v2(static_cast<Opcode>(static_cast<u16>(o) + d), p, q);
+  };
+  Reg x = b.vld(xbuf, 0, xg);
+  Reg y = b.vld(ybuf, 0, yg);
+  Reg t = emit_q15_packed(b, true, y, bsplat);
+  Reg v = v2(combine, x, t);
+  if (!subtract) v = v2(Opcode::M_PMAXSH, v2(Opcode::M_PMINSH, v, clamp_hi), clamp_lo);
+  b.vst(v, obuf, 0, og);
+}
+
+GsmBufs alloc_bufs(Workspace& ws, size_t stream_reserve) {
+  GsmBufs bufs;
+  bufs.pcm = ws.alloc(kNFrames * kGsmFrame * 2);
+  bufs.s = ws.alloc(kGsmFrame * 2);
+  bufs.d = ws.alloc(kGsmFrame * 2);
+  bufs.dp = ws.alloc(280 * 2);
+  bufs.acf = ws.alloc(9 * 8);
+  bufs.reflq = ws.alloc(8 * 8);
+  bufs.e = ws.alloc(kGsmSub * 2);
+  bufs.ep = ws.alloc(kGsmSub * 2);
+  bufs.out = ws.alloc(static_cast<u32>(stream_reserve));
+  bufs.qlb = ws.alloc(8);
+  bufs.qlbsplat = ws.alloc(4 * 8);
+  bufs.qlbvec = ws.alloc(6 * 128);  // 4 gains + splat(+14000) + splat(-14000)
+  bufs.dlb = ws.alloc(8);
+  bufs.meta = ws.alloc(64);
+  const auto& qlb = gsm_qlb();
+  for (int i = 0; i < 4; ++i) {
+    ws.mem().store(bufs.qlb.addr + static_cast<Addr>(2 * i), 2,
+                   static_cast<u16>(qlb[static_cast<size_t>(i)]));
+    u64 w = 0;
+    for (int l = 0; l < 4; ++l)
+      w |= static_cast<u64>(static_cast<u16>(qlb[static_cast<size_t>(i)])) << (16 * l);
+    ws.mem().store(bufs.qlbsplat.addr + static_cast<Addr>(8 * i), 8, w);
+    for (int e = 0; e < 16; ++e)
+      ws.mem().store(bufs.qlbvec.addr + static_cast<Addr>(128 * i + 8 * e), 8, w);
+  }
+  const auto& dlb = gsm_dlb();
+  for (int i = 0; i < 3; ++i)
+    ws.mem().store(bufs.dlb.addr + static_cast<Addr>(2 * i), 2,
+                   static_cast<u16>(dlb[static_cast<size_t>(i)]));
+  for (int i = 0; i < 2; ++i) {
+    const i16 c = i == 0 ? i16{14000} : i16{-14000};
+    u64 w = 0;
+    for (int l = 0; l < 4; ++l)
+      w |= static_cast<u64>(static_cast<u16>(c)) << (16 * l);
+    for (int e = 0; e < 16; ++e)
+      ws.mem().store(bufs.qlbvec.addr + static_cast<Addr>(128 * (4 + i) + 8 * e), 8, w);
+  }
+  return bufs;
+}
+
+}  // namespace
+
+// ======================= gsm_enc =============================================
+
+BuiltApp build_gsm_enc(Variant var) {
+  const auto pcm = make_test_speech(kNFrames * kGsmFrame);
+  const std::vector<u8> golden = gsm_encode(pcm);
+
+  auto ws = std::make_unique<Workspace>();
+  GsmBufs bufs = alloc_bufs(*ws, golden.size() + 64);
+  ws->write_i16(bufs.pcm, pcm);
+
+  ProgramBuilder b;
+  Reg pcmr = b.movi(bufs.pcm.addr), sbuf = b.movi(bufs.s.addr);
+  Reg dbuf = b.movi(bufs.d.addr), dpbuf = b.movi(bufs.dp.addr);
+  Reg acf = b.movi(bufs.acf.addr), reflq = b.movi(bufs.reflq.addr);
+  Reg ebuf = b.movi(bufs.e.addr), epbuf = b.movi(bufs.ep.addr);
+  Reg qlbr = b.movi(bufs.qlb.addr), qlbsp = b.movi(bufs.qlbsplat.addr);
+  Reg qlbv = b.movi(bufs.qlbvec.addr), dlbr = b.movi(bufs.dlb.addr);
+  Reg outr = b.movi(bufs.out.addr);
+  Reg lo16 = b.movi(-32768), hi16 = b.movi(32767);
+  Reg kpre = b.movi(28180);
+
+  BitWriterEmit bw;
+  bw.init(b, outr, bufs.out.group);
+  Reg prev = b.movi(0);
+
+  b.for_range(0, kNFrames, 1, [&](Reg f) {
+    Reg pcmf = b.add(pcmr, b.mul(f, b.movi(kGsmFrame * 2)));
+
+    // Scalar: pre-emphasis + scaling.
+    b.for_range(0, kGsmFrame, 1, [&](Reg n) {
+      Reg in = b.ldh(b.add(pcmf, b.slli(n, 1)), 0, bufs.pcm.group);
+      Reg v = b.srai(b.sub(in, emit_q15(b, kpre, prev)), 4);
+      b.sth(v, b.add(sbuf, b.slli(n, 1)), 0, bufs.s.group);
+      b.mov_to(prev, in);
+    });
+
+    // R2: autocorrelation.
+    b.begin_region(2, "autocorrelation");
+    emit_autocorr(b, var, sbuf, bufs.s.group, acf, bufs.acf.group);
+    b.end_region();
+
+    // Scalar: reflection coefficients + LAR coding.
+    std::array<Reg, 8> rk;
+    {
+      Reg den = b.addi(b.ldd(acf, 0, bufs.acf.group), 1);
+      Reg climit = b.movi(29491), cneg = b.movi(-29491);
+      Reg c63 = b.movi(63), zero = b.movi(0);
+      for (int k = 1; k <= kGsmOrder; ++k) {
+        Reg r = b.div(b.slli(b.ldd(acf, 8 * k, bufs.acf.group), 15), den);
+        r = b.min_(b.max_(r, cneg), climit);
+        Reg idx = b.min_(b.max_(b.srai(b.addi(r, 32768), 10), zero), c63);
+        bw.put_imm(b, idx, 6);
+        rk[static_cast<size_t>(k - 1)] = b.addi(b.slli(idx, 10), -32768 + 512);
+      }
+    }
+
+    // Scalar: short-term analysis lattice (first-order recurrences).
+    {
+      std::array<Reg, 8> u;
+      for (auto& r : u) r = b.movi(0);
+      b.for_range(0, kGsmFrame, 1, [&](Reg n) {
+        Reg di = b.ldh(b.add(sbuf, b.slli(n, 1)), 0, bufs.s.group);
+        Reg sav = b.mov(di);
+        for (int k = 0; k < kGsmOrder; ++k) {
+          Reg temp = emit_sat16(b, b.add(u[static_cast<size_t>(k)],
+                                         emit_q15(b, rk[static_cast<size_t>(k)], di)),
+                                lo16, hi16);
+          di = emit_sat16(b, b.add(di, emit_q15(b, rk[static_cast<size_t>(k)],
+                                                u[static_cast<size_t>(k)])),
+                          lo16, hi16);
+          b.mov_to(u[static_cast<size_t>(k)], emit_sat16(b, sav, lo16, hi16));
+          sav = temp;
+        }
+        // sat_d: clamp the residual to +/-14000 (see media/gsm.cpp).
+        Reg dlo = b.movi(-14000), dhi = b.movi(14000);
+        b.sth(emit_sat16(b, di, dlo, dhi), b.add(dbuf, b.slli(n, 1)), 0, bufs.d.group);
+      });
+    }
+
+    // Subframes.
+    b.for_range(0, 4, 1, [&](Reg j) {
+      Reg dj = b.add(dbuf, b.mul(j, b.movi(kGsmSub * 2)));
+      Reg dpcur = b.add(dpbuf, b.add(b.mul(j, b.movi(kGsmSub * 2)), b.movi(240)));
+
+      // ---- R1: LTP parameters ------------------------------------------
+      b.begin_region(1, "LTP parameters");
+      Reg best = b.movi(-(i64{1} << 60));
+      Reg bestlag = b.movi(kGsmMinLag);
+      b.for_range(kGsmMinLag, kGsmMaxLag + 1, 1, [&](Reg lag) {
+        Reg dpl = b.sub(dpcur, b.slli(lag, 1));
+        Reg cross = emit_cross40(b, var, dj, bufs.d.group, dpl, bufs.dp.group);
+        b.unless(Opcode::BGE, best, cross, [&] {
+          b.mov_to(best, cross);
+          b.mov_to(bestlag, lag);
+        });
+      });
+      Reg dplag = b.sub(dpcur, b.slli(bestlag, 1));
+      Reg power = b.movi(0);
+      b.for_range(0, kGsmSub, 1, [&](Reg i) {
+        Reg v = b.ldh(b.add(dplag, b.slli(i, 1)), 0, bufs.dp.group);
+        b.mov_to(power, b.add(power, b.mul(v, v)));
+      });
+      Reg g = b.div(b.slli(best, 15), b.addi(power, 1));
+      Reg gidx = b.movi(0);
+      for (int t = 0; t < 3; ++t) {
+        Reg thr = b.ldh(dlbr, 2 * t, bufs.dlb.group);
+        b.unless(Opcode::BLT, g, thr, [&] { b.mov_to(gidx, b.movi(t + 1)); });
+      }
+      Reg bval = b.ldh(b.add(qlbr, b.slli(gidx, 1)), 0, bufs.qlb.group);
+      Reg bsplat = var == Variant::kMusimd
+                       ? b.ldqs(b.add(qlbsp, b.slli(gidx, 3)), 0, bufs.qlbsplat.group)
+                       : (var == Variant::kVector
+                              ? (b.setvl(10), b.setvs(8),
+                                 b.vld(b.add(qlbv, b.slli(gidx, 7)), 0, bufs.qlbvec.group))
+                              : Reg{});
+      emit_ltp_filter40(b, var, /*subtract=*/true, dj, bufs.d.group, dplag,
+                        bufs.dp.group, ebuf, bufs.e.group, bsplat, bval);
+      b.end_region();
+
+      // ---- Scalar: RPE grid selection + APCM ------------------------------
+      bw.put_imm(b, b.addi(bestlag, -kGsmMinLag), 5);
+      bw.put_imm(b, gidx, 2);
+      Reg bestE = b.movi(-1);
+      Reg grid = b.movi(0);
+      for (int mgrid = 0; mgrid < 4; ++mgrid) {
+        Reg en = b.movi(0);
+        for (int k = 0; k < 13; ++k) {
+          Reg v = b.ldh(ebuf, 2 * (mgrid + 3 * k), bufs.e.group);
+          b.mov_to(en, b.add(en, b.mul(v, v)));
+        }
+        b.unless(Opcode::BGE, bestE, en, [&] {
+          b.mov_to(bestE, en);
+          b.mov_to(grid, b.movi(mgrid));
+        });
+      }
+      Reg xmax = b.movi(0);
+      Reg grid2 = b.slli(grid, 1);
+      for (int k = 0; k < 13; ++k) {
+        Reg v = b.abs_(b.ldh(b.add(ebuf, grid2), 6 * k, bufs.e.group));
+        b.mov_to(xmax, b.max_(xmax, v));
+      }
+      Reg shift = b.max_(b.addi(emit_bitsize(b, xmax), -3), b.movi(0));
+      bw.put_imm(b, grid, 2);
+      bw.put_imm(b, shift, 4);
+      emit_memzero(b, epbuf, kGsmSub * 2, bufs.ep.group);
+      Reg zero = b.movi(0), c7 = b.movi(7);
+      for (int k = 0; k < 13; ++k) {
+        Reg v = b.ldh(b.add(ebuf, grid2), 6 * k, bufs.e.group);
+        Reg q = b.min_(b.max_(b.addi(b.sra(v, shift), 4), zero), c7);
+        bw.put_imm(b, q, 3);
+        b.sth(b.sll(b.addi(q, -4), shift), b.add(epbuf, grid2), 6 * k, bufs.ep.group);
+      }
+
+      // ---- R1 again: reconstructed-residual history update ----------------
+      b.begin_region(1, "LTP parameters");
+      Reg chi, clo;
+      if (var == Variant::kMusimd) {
+        chi = b.movis(0x36B036B036B036B0ull);   // splat(14000)
+        clo = b.movis(0xC950C950C950C950ull);   // splat(-14000)
+      } else if (var == Variant::kVector) {
+        b.setvl(10);
+        chi = b.vld(qlbv, 4 * 128, bufs.qlbvec.group);
+        clo = b.vld(qlbv, 5 * 128, bufs.qlbvec.group);
+      }
+      emit_ltp_filter40(b, var, /*subtract=*/false, epbuf, bufs.ep.group, dplag,
+                        bufs.dp.group, dpcur, bufs.dp.group, bsplat, bval, chi, clo);
+      b.end_region();
+    });
+
+    // Scalar: slide the 120-sample reconstructed-residual history.
+    b.for_range(0, 30, 1, [&](Reg i) {
+      Reg w = b.ldd(b.add(dpbuf, b.slli(i, 3)), 320, bufs.dp.group);
+      b.std_(w, b.add(dpbuf, b.slli(i, 3)), 0, bufs.dp.group);
+    });
+  });
+
+  bw.finish(b);
+  b.std_(bw.size(b, outr), b.movi(bufs.meta.addr), 0, bufs.meta.group);
+
+  BuiltApp app;
+  app.name = std::string("gsm_enc.") + variant_name(var);
+  app.program = b.take();
+  app.ws = std::move(ws);
+  const Buffer out = bufs.out, meta = bufs.meta;
+  app.verify = [golden, out, meta](const Workspace& w) -> std::string {
+    const u64 size = w.read_u64(meta);
+    if (size != golden.size())
+      return "stream size " + std::to_string(size) + " != " + std::to_string(golden.size());
+    const auto bytes = w.read_u8(out, golden.size());
+    for (size_t i = 0; i < golden.size(); ++i)
+      if (bytes[i] != golden[i]) return "stream byte " + std::to_string(i) + " differs";
+    return "";
+  };
+  return app;
+}
+
+// ======================= gsm_dec =============================================
+
+BuiltApp build_gsm_dec(Variant var) {
+  const auto pcm = make_test_speech(kNFrames * kGsmFrame);
+  const std::vector<u8> stream = gsm_encode(pcm);
+  const std::vector<i16> golden = gsm_decode(stream, kNFrames);
+
+  auto ws = std::make_unique<Workspace>();
+  GsmBufs bufs = alloc_bufs(*ws, 64);
+  Buffer in = ws->alloc(static_cast<u32>(stream.size() + 16));
+  ws->write_u8(in, stream);
+  Buffer outpcm = ws->alloc(kNFrames * kGsmFrame * 2);
+
+  ProgramBuilder b;
+  Reg inr = b.movi(in.addr);
+  Reg dpbuf = b.movi(bufs.dp.addr), epbuf = b.movi(bufs.ep.addr);
+  Reg qlbr = b.movi(bufs.qlb.addr), qlbsp = b.movi(bufs.qlbsplat.addr);
+  Reg qlbv = b.movi(bufs.qlbvec.addr);
+  Reg outr = b.movi(outpcm.addr);
+  Reg lo16 = b.movi(-32768), hi16 = b.movi(32767);
+  Reg kpre = b.movi(28180);
+
+  BitReaderEmit br;
+  br.init(b, inr, in.group);
+
+  std::array<Reg, 9> v;
+  for (auto& r : v) r = b.movi(0);
+  Reg prev = b.movi(0);
+
+  b.for_range(0, kNFrames, 1, [&](Reg f) {
+    std::array<Reg, 8> rk;
+    for (int k = 0; k < kGsmOrder; ++k) {
+      Reg idx = br.get_imm(b, 6);
+      rk[static_cast<size_t>(k)] = b.addi(b.slli(idx, 10), -32768 + 512);
+    }
+
+    b.for_range(0, 4, 1, [&](Reg j) {
+      Reg dpcur = b.add(dpbuf, b.add(b.mul(j, b.movi(kGsmSub * 2)), b.movi(240)));
+      Reg lag = b.addi(br.get_imm(b, 5), kGsmMinLag);
+      Reg gidx = br.get_imm(b, 2);
+      Reg grid = br.get_imm(b, 2);
+      Reg shift = br.get_imm(b, 4);
+      emit_memzero(b, epbuf, kGsmSub * 2, bufs.ep.group);
+      Reg grid2 = b.slli(grid, 1);
+      for (int k = 0; k < 13; ++k) {
+        Reg q = br.get_imm(b, 3);
+        b.sth(b.sll(b.addi(q, -4), shift), b.add(epbuf, grid2), 6 * k, bufs.ep.group);
+      }
+
+      // ---- R1: long-term filtering ----------------------------------------
+      b.begin_region(1, "long term filtering");
+      Reg bval = b.ldh(b.add(qlbr, b.slli(gidx, 1)), 0, bufs.qlb.group);
+      Reg bsplat = var == Variant::kMusimd
+                       ? b.ldqs(b.add(qlbsp, b.slli(gidx, 3)), 0, bufs.qlbsplat.group)
+                       : (var == Variant::kVector
+                              ? (b.setvl(10), b.setvs(8),
+                                 b.vld(b.add(qlbv, b.slli(gidx, 7)), 0, bufs.qlbvec.group))
+                              : Reg{});
+      Reg dplag = b.sub(dpcur, b.slli(lag, 1));
+      Reg chi, clo;
+      if (var == Variant::kMusimd) {
+        chi = b.movis(0x36B036B036B036B0ull);
+        clo = b.movis(0xC950C950C950C950ull);
+      } else if (var == Variant::kVector) {
+        b.setvl(10);
+        chi = b.vld(qlbv, 4 * 128, bufs.qlbvec.group);
+        clo = b.vld(qlbv, 5 * 128, bufs.qlbvec.group);
+      }
+      emit_ltp_filter40(b, var, /*subtract=*/false, epbuf, bufs.ep.group, dplag,
+                        bufs.dp.group, dpcur, bufs.dp.group, bsplat, bval, chi, clo);
+      b.end_region();
+    });
+
+    // Scalar: synthesis lattice + de-emphasis.
+    Reg outf = b.add(outr, b.mul(f, b.movi(kGsmFrame * 2)));
+    b.for_range(0, kGsmFrame, 1, [&](Reg n) {
+      Reg sri = b.ldh(b.add(dpbuf, b.slli(n, 1)), 240, bufs.dp.group);
+      for (int k = kGsmOrder - 1; k >= 0; --k) {
+        sri = emit_sat16(b, b.sub(sri, emit_q15(b, rk[static_cast<size_t>(k)],
+                                                v[static_cast<size_t>(k)])),
+                         lo16, hi16);
+        b.mov_to(v[static_cast<size_t>(k + 1)],
+                 emit_sat16(b, b.add(v[static_cast<size_t>(k)],
+                                     emit_q15(b, rk[static_cast<size_t>(k)], sri)),
+                            lo16, hi16));
+      }
+      b.mov_to(v[0], emit_sat16(b, sri, lo16, hi16));
+      Reg o = emit_sat16(b, b.add(sri, emit_q15(b, kpre, prev)), lo16, hi16);
+      b.mov_to(prev, o);
+      b.sth(o, b.add(outf, b.slli(n, 1)), 0, outpcm.group);
+    });
+
+    // Slide the history.
+    b.for_range(0, 30, 1, [&](Reg i) {
+      Reg w = b.ldd(b.add(dpbuf, b.slli(i, 3)), 320, bufs.dp.group);
+      b.std_(w, b.add(dpbuf, b.slli(i, 3)), 0, bufs.dp.group);
+    });
+  });
+
+  BuiltApp app;
+  app.name = std::string("gsm_dec.") + variant_name(var);
+  app.program = b.take();
+  app.ws = std::move(ws);
+  app.verify = [golden, outpcm](const Workspace& w) -> std::string {
+    const auto got = w.read_i16(outpcm, golden.size());
+    for (size_t i = 0; i < golden.size(); ++i)
+      if (got[i] != golden[i]) return "sample " + std::to_string(i) + " differs";
+    return "";
+  };
+  return app;
+}
+
+}  // namespace vuv

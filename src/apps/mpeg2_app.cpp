@@ -1,0 +1,751 @@
+// mpeg2_enc / mpeg2_dec applications in the three ISA variants.
+//
+// Encoder regions (paper Table 1): R1 motion estimation (dist1-style full
+// search + half-pel refinement), R2 forward DCT, R3 inverse DCT
+// (reconstruction loop). Quantization, VLC and motion compensation are
+// scalar, as in the paper.
+// Decoder regions: R1 form component prediction, R2 inverse DCT, R3 add
+// block; VLC parsing and dequantization are scalar.
+//
+// Motion-estimation reference loads use the image width as vector stride —
+// the non-stride-one pattern responsible for the paper's mpeg2_enc
+// realistic-memory degradation (§5.1).
+#include "apps/apps.hpp"
+#include "apps/coding.hpp"
+#include "apps/emit.hpp"
+#include "common/error.hpp"
+#include "media/dct.hpp"
+#include "media/mpeg2.hpp"
+#include "media/workload.hpp"
+
+namespace vuv {
+
+namespace {
+
+constexpr i32 kW = 64, kH = 48, kRange = 7, kFrames = 2;
+constexpr i32 kMbx = kW / 16, kMby = kH / 16;
+
+std::vector<i16> zz_i16(const std::array<i16, 64>& t) {
+  // Table reordered into zigzag order (for the scalar quant/dequant loops).
+  const auto& zz = dct_zigzag_vu();
+  const auto& perm = fdct_table().perm;
+  std::vector<i16> out(64);
+  for (int k = 0; k < 64; ++k) {
+    const int v = zz[static_cast<size_t>(k)].first, u = zz[static_cast<size_t>(k)].second;
+    out[static_cast<size_t>(k)] =
+        t[static_cast<size_t>(perm[static_cast<size_t>(v)] * 8 +
+                              perm[static_cast<size_t>(u)])];
+  }
+  return out;
+}
+
+struct MpegCtx {
+  Variant var;
+  CoefLayout layout;
+  // registers holding buffer bases
+  Reg zzlut;       // zigzag byte offsets in the variant layout
+  Reg qzz, szz;    // recip2 / step tables in zigzag order (i16[64])
+  u16 lutg, coefg;
+  Reg coef;        // per-MB coefficient area (4 blocks)
+  Reg pred;        // 16x16 row-major prediction buffer
+  u16 predg;
+
+  /// Block base within the MB coefficient area.
+  Reg block_base(ProgramBuilder& b, int blk) const {
+    return b.addi(coef, layout == CoefLayout::kStripe ? blk * 8 : blk * 128);
+  }
+  /// Byte offset of spatial sample (r,c) of block `blk` in the residual
+  /// area (after the inverse DCT, which restores spatial orientation).
+  i64 resid_off(int blk, int r, int c) const {
+    if (layout == CoefLayout::kStripe)
+      return (2 * r + c / 4) * 64 + blk * 8 + (c % 4) * 2;
+    return blk * 128 + r * 16 + c * 2;
+  }
+};
+
+// ---- scalar quant / dequant (zigzag-order table walk) -----------------------
+
+void emit_quant_block(ProgramBuilder& b, const MpegCtx& m, Reg base) {
+  b.for_range(0, 64, 1, [&](Reg k) {
+    Reg off = b.ldw(b.add(m.zzlut, b.slli(k, 2)), 0, m.lutg);
+    Reg addr = b.add(base, off);
+    Reg c = b.ldh(addr, 0, m.coefg);
+    Reg r = b.ldh(b.add(m.qzz, b.slli(k, 1)), 0, m.lutg);
+    b.sth(b.srai(b.mul(c, r), 16), addr, 0, m.coefg);
+  });
+}
+
+void emit_dequant_block(ProgramBuilder& b, const MpegCtx& m, Reg base) {
+  b.for_range(0, 64, 1, [&](Reg k) {
+    Reg off = b.ldw(b.add(m.zzlut, b.slli(k, 2)), 0, m.lutg);
+    Reg addr = b.add(base, off);
+    Reg q = b.ldh(addr, 0, m.coefg);
+    Reg s = b.ldh(b.add(m.szz, b.slli(k, 1)), 0, m.lutg);
+    b.sth(b.mul(q, s), addr, 0, m.coefg);
+  });
+}
+
+// ---- DCT stages ----------------------------------------------------------------
+
+void emit_mb_dct(ProgramBuilder& b, const MpegCtx& m, const DctTable& t,
+                 bool forward, Reg dctpool, u16 poolg, Reg batch, u16 batchg) {
+  if (m.var == Variant::kScalar) {
+    for (int blk = 0; blk < 4; ++blk)
+      emit_dct_scalar(b, t, m.block_base(b, blk), 0, m.coefg, forward);
+  } else if (m.var == Variant::kMusimd) {
+    for (int blk = 0; blk < 4; ++blk) {
+      Reg base = m.block_base(b, blk);
+      std::array<Reg, 16> words;
+      for (int s = 0; s < 16; ++s)
+        words[static_cast<size_t>(s)] = b.ldqs(base, s * 8, m.coefg);
+      emit_dct_musimd(b, t, words);
+      for (int s = 0; s < 16; ++s)
+        b.stqs(words[static_cast<size_t>(s)], base, s * 8, m.coefg);
+    }
+  } else {
+    // Batch of the MB's 4 blocks (VL=4); stride-one stripe accesses.
+    emit_dct_vector(b, t, m.coef, m.coefg, batch, batchg, 4, dctpool, poolg);
+    // Copy back so coef holds the result in all variants (64-bit moves).
+    b.setvl(16);
+    b.setvs(8);
+    for (int j = 0; j < 8; ++j) {
+      Reg w = b.vld(batch, j * 128, batchg);
+      b.vst(w, m.coef, j * 128, m.coefg);
+    }
+  }
+}
+
+// ---- SAD (motion estimation inner kernel) ---------------------------------
+
+/// Emit SAD between the current MB (by corner register) and the prediction
+/// at an integer corner `refc`, with optional half-pel averaging. Returns
+/// the SAD value register. `curw` preloads the 32 current-MB words for the
+/// µSIMD variant; `vcur` the two vector registers for the vector variant.
+struct SadCtx {
+  Variant var;
+  Reg cur_corner;  // scalar variant
+  u16 curg, refg;
+  std::array<Reg, 32> curw;  // µSIMD
+  Reg vcur0, vcur1;          // vector
+};
+
+Reg emit_sad16(ProgramBuilder& b, const SadCtx& s, Reg refc, bool havg,
+               bool vavg) {
+  if (s.var == Variant::kScalar) {
+    Reg sad = b.movi(0);
+    Reg wreg = b.movi(kW);
+    b.for_range(0, 16, 1, [&](Reg r) {
+      Reg rowc = b.add(s.cur_corner, b.mul(r, wreg));
+      Reg rowr = b.add(refc, b.mul(r, wreg));
+      for (int c = 0; c < 16; ++c) {
+        Reg p;
+        if (!havg && !vavg) {
+          p = b.ldbu(rowr, c, s.refg);
+        } else if (havg && !vavg) {
+          p = b.srai(b.addi(b.add(b.ldbu(rowr, c, s.refg), b.ldbu(rowr, c + 1, s.refg)), 1), 1);
+        } else if (!havg && vavg) {
+          p = b.srai(b.addi(b.add(b.ldbu(rowr, c, s.refg), b.ldbu(rowr, c + kW, s.refg)), 1), 1);
+        } else {
+          Reg t0 = b.srai(b.addi(b.add(b.ldbu(rowr, c, s.refg), b.ldbu(rowr, c + 1, s.refg)), 1), 1);
+          Reg t1 = b.srai(b.addi(b.add(b.ldbu(rowr, c + kW, s.refg),
+                                       b.ldbu(rowr, c + kW + 1, s.refg)), 1), 1);
+          p = b.srai(b.addi(b.add(t0, t1), 1), 1);
+        }
+        Reg d = b.abs_(b.sub(b.ldbu(rowc, c, s.curg), p));
+        b.mov_to(sad, b.add(sad, d));
+      }
+    });
+    return sad;
+  }
+
+  if (s.var == Variant::kMusimd) {
+    // Four parallel accumulator chains: a single chain of 32 PADDWs would
+    // bound the schedule at 64 cycles and hide any issue-width benefit.
+    std::array<Reg, 4> acc{b.movis(0), b.movis(0), b.movis(0), b.movis(0)};
+    for (int r = 0; r < 16; ++r) {
+      for (int half = 0; half < 2; ++half) {
+        const i64 off = r * kW + half * 8;
+        Reg p;
+        if (!havg && !vavg) {
+          p = b.ldqs(refc, off, s.refg);
+        } else if (havg && !vavg) {
+          p = b.m2(Opcode::M_PAVGB, b.ldqs(refc, off, s.refg), b.ldqs(refc, off + 1, s.refg));
+        } else if (!havg && vavg) {
+          p = b.m2(Opcode::M_PAVGB, b.ldqs(refc, off, s.refg), b.ldqs(refc, off + kW, s.refg));
+        } else {
+          Reg t0 = b.m2(Opcode::M_PAVGB, b.ldqs(refc, off, s.refg), b.ldqs(refc, off + 1, s.refg));
+          Reg t1 = b.m2(Opcode::M_PAVGB, b.ldqs(refc, off + kW, s.refg),
+                        b.ldqs(refc, off + kW + 1, s.refg));
+          p = b.m2(Opcode::M_PAVGB, t0, t1);
+        }
+        Reg d = b.m2(Opcode::M_PSADBW, s.curw[static_cast<size_t>(2 * r + half)], p);
+        const size_t lane = static_cast<size_t>((2 * r + half) % 4);
+        acc[lane] = b.m2(Opcode::M_PADDW, acc[lane], d);
+      }
+    }
+    Reg t01 = b.m2(Opcode::M_PADDW, acc[0], acc[1]);
+    Reg t23 = b.m2(Opcode::M_PADDW, acc[2], acc[3]);
+    return b.movs2i(b.m2(Opcode::M_PADDW, t01, t23));
+  }
+
+  // Vector: VL=16 rows, VS = image width (non-stride-one, as in the paper).
+  auto pred_cols = [&](i64 off) {
+    if (!havg && !vavg) return b.vld(refc, off, s.refg);
+    if (havg && !vavg)
+      return b.v2(Opcode::V_PAVGB, b.vld(refc, off, s.refg), b.vld(refc, off + 1, s.refg));
+    if (!havg && vavg)
+      return b.v2(Opcode::V_PAVGB, b.vld(refc, off, s.refg), b.vld(refc, off + kW, s.refg));
+    Reg t0 = b.v2(Opcode::V_PAVGB, b.vld(refc, off, s.refg), b.vld(refc, off + 1, s.refg));
+    Reg t1 = b.v2(Opcode::V_PAVGB, b.vld(refc, off + kW, s.refg),
+                  b.vld(refc, off + kW + 1, s.refg));
+    return b.v2(Opcode::V_PAVGB, t0, t1);
+  };
+  Reg p0 = pred_cols(0);
+  Reg p1 = pred_cols(8);
+  Reg a1 = b.clracc();
+  Reg a2 = b.clracc();
+  b.vsadacc(a1, s.vcur0, p0);
+  b.vsadacc(a2, s.vcur1, p1);
+  return b.add(b.sumacb(a1), b.sumacb(a2));
+}
+
+/// Motion search (R1): integer full search + half-pel refinement, mirroring
+/// media/mpeg2 motion_search bit-exactly. Outputs half-pel (fx,fy).
+void emit_motion_search(ProgramBuilder& b, SadCtx& s, Reg ref, u16 refg,
+                        i32 mx, i32 my, Reg* out_fx, Reg* out_fy) {
+  (void)refg;
+  Reg best = b.movi(i64{1} << 40);
+  Reg bfx = b.movi(2 * mx), bfy = b.movi(2 * my);
+
+  const i32 dxlo = std::max(-kRange, -mx), dxhi = std::min(kRange, kW - 16 - mx);
+  const i32 dylo = std::max(-kRange, -my), dyhi = std::min(kRange, kH - 16 - my);
+  b.for_range(dylo, dyhi + 1, 1, [&](Reg dy) {
+    b.for_range(dxlo, dxhi + 1, 1, [&](Reg dx) {
+      Reg refc = b.add(ref, b.add(b.mul(b.addi(dy, my), b.movi(kW)), b.addi(dx, mx)));
+      Reg sad = emit_sad16(b, s, refc, false, false);
+      b.unless(Opcode::BGE, sad, best, [&] {
+        b.mov_to(best, sad);
+        b.mov_to(bfx, b.slli(b.addi(dx, mx), 1));
+        b.mov_to(bfy, b.slli(b.addi(dy, my), 1));
+      });
+    });
+  });
+
+  // Half-pel refinement around the integer optimum.
+  Reg cx = b.mov(bfx), cy = b.mov(bfy);
+  Reg zero = b.movi(0);
+  for (i32 hy = -1; hy <= 1; ++hy)
+    for (i32 hx = -1; hx <= 1; ++hx) {
+      if (hx == 0 && hy == 0) continue;
+      Reg fx = b.addi(cx, hx), fy = b.addi(cy, hy);
+      // Validity: fx,fy >= 0 and (f>>1)+16+(f&1) <= bound.
+      Reg okx = b.slt(b.add(b.add(b.srai(fx, 1), b.movi(16)), b.andi(fx, 1)),
+                      b.movi(kW + 1));
+      Reg oky = b.slt(b.add(b.add(b.srai(fy, 1), b.movi(16)), b.andi(fy, 1)),
+                      b.movi(kH + 1));
+      Reg nonneg = b.and_(b.slt(b.movi(-1), fx), b.slt(b.movi(-1), fy));
+      Reg ok = b.and_(b.and_(okx, oky), nonneg);
+      b.unless(Opcode::BEQ, ok, zero, [&] {
+        Reg refc = b.add(ref, b.add(b.mul(b.srai(fy, 1), b.movi(kW)), b.srai(fx, 1)));
+        const bool havg = hx != 0;  // integer centre: frac bit = |hx| here
+        const bool vavg = hy != 0;
+        Reg sad = emit_sad16(b, s, refc, havg, vavg);
+        b.unless(Opcode::BGE, sad, best, [&] {
+          b.mov_to(best, sad);
+          b.mov_to(bfx, fx);
+          b.mov_to(bfy, fy);
+        });
+      });
+    }
+  *out_fx = bfx;
+  *out_fy = bfy;
+}
+
+/// Scalar form prediction into the 16x16 row-major pred buffer (used by the
+/// encoder in all variants; the decoder's R1 uses the variant kernels).
+void emit_form_pred_scalar(ProgramBuilder& b, Reg ref, u16 refg, Reg pred,
+                           u16 predg, Reg fx, Reg fy) {
+  Reg corner = b.add(ref, b.add(b.mul(b.srai(fy, 1), b.movi(kW)), b.srai(fx, 1)));
+  Reg hx = b.andi(fx, 1), hy = b.andi(fy, 1);
+  Reg zero = b.movi(0);
+  auto body = [&](bool bx, bool by) {
+    b.for_range(0, 16, 1, [&](Reg r) {
+      Reg rowr = b.add(corner, b.mul(r, b.movi(kW)));
+      Reg rowp = b.add(pred, b.slli(r, 4));
+      for (int c = 0; c < 16; ++c) {
+        Reg p;
+        if (!bx && !by) {
+          p = b.ldbu(rowr, c, refg);
+        } else if (bx && !by) {
+          p = b.srai(b.addi(b.add(b.ldbu(rowr, c, refg), b.ldbu(rowr, c + 1, refg)), 1), 1);
+        } else if (!bx && by) {
+          p = b.srai(b.addi(b.add(b.ldbu(rowr, c, refg), b.ldbu(rowr, c + kW, refg)), 1), 1);
+        } else {
+          Reg t0 = b.srai(b.addi(b.add(b.ldbu(rowr, c, refg), b.ldbu(rowr, c + 1, refg)), 1), 1);
+          Reg t1 = b.srai(b.addi(b.add(b.ldbu(rowr, c + kW, refg),
+                                       b.ldbu(rowr, c + kW + 1, refg)), 1), 1);
+          p = b.srai(b.addi(b.add(t0, t1), 1), 1);
+        }
+        b.stb(p, rowp, c, predg);
+      }
+    });
+  };
+  // Dispatch on the two fraction bits.
+  b.unless(Opcode::BNE, hx, zero, [&] {
+    b.unless(Opcode::BNE, hy, zero, [&] { body(false, false); });
+    b.unless(Opcode::BEQ, hy, zero, [&] { body(false, true); });
+  });
+  b.unless(Opcode::BEQ, hx, zero, [&] {
+    b.unless(Opcode::BNE, hy, zero, [&] { body(true, false); });
+    b.unless(Opcode::BEQ, hy, zero, [&] { body(true, true); });
+  });
+}
+
+/// Encoder MV fold + gamma (fold(v) = v<=0 ? -2v : 2v-1).
+void emit_mv_code(ProgramBuilder& b, BitWriterEmit& bw, Reg v) {
+  Reg zero = b.movi(0);
+  Reg f = b.movi(0);
+  b.unless(Opcode::BLT, zero, v, [&] { b.mov_to(f, b.slli(b.sub(zero, v), 1)); });
+  b.unless(Opcode::BGE, zero, v, [&] { b.mov_to(f, b.addi(b.slli(v, 1), -1)); });
+  emit_put_gamma(b, bw, b.addi(f, 1));
+}
+
+}  // namespace
+
+// ======================= mpeg2_enc ===========================================
+
+BuiltApp build_mpeg2_enc(Variant var) {
+  const auto frames = make_test_video(kW, kH, kFrames, 3, 1);
+  Mpeg2Params params;
+  params.width = kW;
+  params.height = kH;
+  params.search_range = kRange;
+  const std::vector<u8> golden = mpeg2_encode(frames, params);
+  const auto golden_recon = mpeg2_encode_recon(frames, params);
+
+  auto ws = std::make_unique<Workspace>();
+  std::array<Buffer, kFrames> fin;
+  for (int f = 0; f < kFrames; ++f) {
+    fin[static_cast<size_t>(f)] = ws->alloc(kW * kH);
+    ws->write_u8(fin[static_cast<size_t>(f)], frames[static_cast<size_t>(f)]);
+  }
+  std::array<Buffer, kFrames> frec;
+  for (auto& bu : frec) bu = ws->alloc(kW * kH);
+  Buffer coef = ws->alloc(1024);  // one MB (4 blocks), any layout
+  Buffer batch = ws->alloc(1024);
+  Buffer pred = ws->alloc(256);
+  Buffer dctpool = ws->alloc(2048);
+  write_dct_const_pool(*ws, dctpool);
+
+  const CoefLayout layout = var == Variant::kScalar  ? CoefLayout::kGolden
+                            : var == Variant::kMusimd ? CoefLayout::kPacked
+                                                      : CoefLayout::kStripe;
+  Buffer zzlut = ws->alloc(64 * 4);
+  ws->write_i32(zzlut, zz_byte_offsets(layout));
+  Buffer qzz = ws->alloc(128), szz = ws->alloc(128);
+  ws->write_i16(qzz, zz_i16(mpeg2_qrecip2()));
+  ws->write_i16(szz, zz_i16(mpeg2_qstep()));
+  Buffer out = ws->alloc(24 * 1024);
+  Buffer meta = ws->alloc(64);
+
+  ProgramBuilder b;
+  MpegCtx m;
+  m.var = var;
+  m.layout = layout;
+  m.zzlut = b.movi(zzlut.addr);
+  m.qzz = b.movi(qzz.addr);
+  m.szz = b.movi(szz.addr);
+  m.lutg = zzlut.group;
+  m.coefg = coef.group;
+  m.coef = b.movi(coef.addr);
+  m.pred = b.movi(pred.addr);
+  m.predg = pred.group;
+  Reg dctpoolr = b.movi(dctpool.addr);
+  Reg batchr = b.movi(batch.addr);
+
+  BitWriterEmit bw;
+  Reg outr = b.movi(out.addr);
+  bw.init(b, outr, out.group);
+  bw.put_imm(b, b.movi(kW), 16);
+  bw.put_imm(b, b.movi(kH), 16);
+  bw.put_imm(b, b.movi(kFrames), 8);
+
+  for (int f = 0; f < kFrames; ++f) {
+    const bool intra = f == 0;
+    Reg cur = b.movi(fin[static_cast<size_t>(f)].addr);
+    Reg rec = b.movi(frec[static_cast<size_t>(f)].addr);
+    Reg ref = b.movi(frec[0].addr);
+    const u16 curg = fin[static_cast<size_t>(f)].group;
+    const u16 recg = frec[static_cast<size_t>(f)].group;
+    const u16 refg = frec[0].group;
+    Reg dcpred = b.movi(0);
+
+    for (i32 mby = 0; mby < kMby; ++mby)
+      for (i32 mbx = 0; mbx < kMbx; ++mbx) {
+        const i32 mx = mbx * 16, my = mby * 16;
+        Reg curc = b.addi(cur, my * kW + mx);
+
+        if (!intra) {
+          // ---- R1: motion estimation --------------------------------------
+          SadCtx sc;
+          sc.var = var;
+          sc.cur_corner = curc;
+          sc.curg = curg;
+          sc.refg = refg;
+          b.begin_region(1, "motion estimation");
+          if (var == Variant::kMusimd) {
+            for (int r = 0; r < 16; ++r)
+              for (int h = 0; h < 2; ++h)
+                sc.curw[static_cast<size_t>(2 * r + h)] =
+                    b.ldqs(curc, r * kW + h * 8, curg);
+          } else if (var == Variant::kVector) {
+            b.setvl(16);
+            b.setvs(kW);
+            sc.vcur0 = b.vld(curc, 0, curg);
+            sc.vcur1 = b.vld(curc, 8, curg);
+          }
+          Reg fx, fy;
+          emit_motion_search(b, sc, ref, refg, mx, my, &fx, &fy);
+          b.end_region();
+
+          // Scalar: MV coding + motion compensation.
+          emit_mv_code(b, bw, b.addi(fx, -2 * mx));
+          emit_mv_code(b, bw, b.addi(fy, -2 * my));
+          emit_form_pred_scalar(b, ref, refg, m.pred, m.predg, fx, fy);
+        }
+
+        // Scalar: differences into the coefficient area (variant layout).
+        for (int blk = 0; blk < 4; ++blk) {
+          const i32 bx = (blk & 1) * 8, by = (blk >> 1) * 8;
+          b.for_range(0, 8, 1, [&](Reg r) {
+            Reg rowc = b.add(curc, b.add(b.mul(r, b.movi(kW)), b.movi(by * kW + bx)));
+            Reg rowp = intra ? Reg{}
+                             : b.add(m.pred, b.add(b.slli(r, 4), b.movi(by * 16 + bx)));
+            Reg rowo = b.add(m.coef, b.slli(r, layout == CoefLayout::kStripe ? 7 : 4));
+            for (int c = 0; c < 8; ++c) {
+              Reg pv = intra ? b.movi(128) : b.ldbu(rowp, c, m.predg);
+              Reg d = b.sub(b.ldbu(rowc, c, curg), pv);
+              const i64 off = m.resid_off(blk, 0, c) -
+                              (layout == CoefLayout::kStripe ? 0 : blk * 128) +
+                              (layout == CoefLayout::kStripe ? 0 : blk * 128);
+              (void)off;
+              b.sth(d, rowo, m.resid_off(blk, 0, c), m.coefg);
+            }
+          });
+        }
+
+        // ---- R2: forward DCT ----------------------------------------------
+        b.begin_region(2, "forward DCT");
+        emit_mb_dct(b, m, fdct_table(), true, dctpoolr, dctpool.group, batchr,
+                    batch.group);
+        b.end_region();
+
+        // Scalar: quantization, entropy coding, dequantization.
+        for (int blk = 0; blk < 4; ++blk) emit_quant_block(b, m, m.block_base(b, blk));
+        for (int blk = 0; blk < 4; ++blk)
+          emit_encode_block(b, bw, m.block_base(b, blk), m.coefg, m.zzlut, m.lutg, dcpred);
+        for (int blk = 0; blk < 4; ++blk) emit_dequant_block(b, m, m.block_base(b, blk));
+
+        // ---- R3: inverse DCT (reconstruction loop) --------------------------
+        b.begin_region(3, "inverse DCT");
+        emit_mb_dct(b, m, idct_table(), false, dctpoolr, dctpool.group, batchr,
+                    batch.group);
+        b.end_region();
+
+        // Scalar: reconstruction.
+        Reg zero = b.movi(0), c255 = b.movi(255);
+        for (int blk = 0; blk < 4; ++blk) {
+          const i32 bx = (blk & 1) * 8, by = (blk >> 1) * 8;
+          b.for_range(0, 8, 1, [&](Reg r) {
+            Reg rowrec = b.add(rec, b.add(b.mul(r, b.movi(kW)),
+                                          b.movi((my + by) * kW + mx + bx)));
+            Reg rowp = intra ? Reg{}
+                             : b.add(m.pred, b.add(b.slli(r, 4), b.movi(by * 16 + bx)));
+            Reg rowo = b.add(m.coef, b.slli(r, layout == CoefLayout::kStripe ? 7 : 4));
+            for (int c = 0; c < 8; ++c) {
+              Reg pv = intra ? b.movi(128) : b.ldbu(rowp, c, m.predg);
+              Reg v = b.add(b.ldh(rowo, m.resid_off(blk, 0, c), m.coefg), pv);
+              b.stb(b.min_(b.max_(v, zero), c255), rowrec, c, recg);
+            }
+          });
+        }
+      }
+  }
+  bw.finish(b);
+  b.std_(bw.size(b, outr), b.movi(meta.addr), 0, meta.group);
+
+  BuiltApp app;
+  app.name = std::string("mpeg2_enc.") + variant_name(var);
+  app.program = b.take();
+  app.ws = std::move(ws);
+  app.verify = [golden, golden_recon, out, meta, frec](const Workspace& w) -> std::string {
+    const u64 size = w.read_u64(meta);
+    if (size != golden.size())
+      return "stream size " + std::to_string(size) + " != " + std::to_string(golden.size());
+    const auto bytes = w.read_u8(out, golden.size());
+    for (size_t i = 0; i < golden.size(); ++i)
+      if (bytes[i] != golden[i]) return "stream byte " + std::to_string(i) + " differs";
+    for (int f = 0; f < kFrames; ++f) {
+      const auto rec = w.read_u8(frec[static_cast<size_t>(f)], golden_recon[static_cast<size_t>(f)].size());
+      for (size_t i = 0; i < rec.size(); ++i)
+        if (rec[i] != golden_recon[static_cast<size_t>(f)][i])
+          return "recon frame " + std::to_string(f) + " differs at " + std::to_string(i);
+    }
+    return "";
+  };
+  return app;
+}
+
+// ======================= mpeg2_dec ===========================================
+
+namespace {
+
+/// Decoder R1: form component prediction in the variant's kernel.
+void emit_form_pred_variant(ProgramBuilder& b, Variant var, Reg ref, u16 refg,
+                            Reg pred, u16 predg, Reg fx, Reg fy) {
+  if (var == Variant::kScalar) {
+    emit_form_pred_scalar(b, ref, refg, pred, predg, fx, fy);
+    return;
+  }
+  Reg corner = b.add(ref, b.add(b.mul(b.srai(fy, 1), b.movi(kW)), b.srai(fx, 1)));
+  Reg hx = b.andi(fx, 1), hy = b.andi(fy, 1);
+  Reg zero = b.movi(0);
+
+  if (var == Variant::kMusimd) {
+    auto body = [&](bool bx, bool by) {
+      for (int r = 0; r < 16; ++r)
+        for (int h = 0; h < 2; ++h) {
+          const i64 off = r * kW + h * 8;
+          Reg p;
+          if (!bx && !by) p = b.ldqs(corner, off, refg);
+          else if (bx && !by)
+            p = b.m2(Opcode::M_PAVGB, b.ldqs(corner, off, refg), b.ldqs(corner, off + 1, refg));
+          else if (!bx && by)
+            p = b.m2(Opcode::M_PAVGB, b.ldqs(corner, off, refg), b.ldqs(corner, off + kW, refg));
+          else {
+            Reg t0 = b.m2(Opcode::M_PAVGB, b.ldqs(corner, off, refg), b.ldqs(corner, off + 1, refg));
+            Reg t1 = b.m2(Opcode::M_PAVGB, b.ldqs(corner, off + kW, refg),
+                          b.ldqs(corner, off + kW + 1, refg));
+            p = b.m2(Opcode::M_PAVGB, t0, t1);
+          }
+          b.stqs(p, pred, r * 16 + h * 8, predg);
+        }
+    };
+    b.unless(Opcode::BNE, hx, zero, [&] {
+      b.unless(Opcode::BNE, hy, zero, [&] { body(false, false); });
+      b.unless(Opcode::BEQ, hy, zero, [&] { body(false, true); });
+    });
+    b.unless(Opcode::BEQ, hx, zero, [&] {
+      b.unless(Opcode::BNE, hy, zero, [&] { body(true, false); });
+      b.unless(Opcode::BEQ, hy, zero, [&] { body(true, true); });
+    });
+    return;
+  }
+
+  // Vector: VL=16 rows, strided ref loads (VS = width) and pred stores
+  // (VS = 16), per column half.
+  b.setvl(16);
+  auto body = [&](bool bx, bool by) {
+    for (int h = 0; h < 2; ++h) {
+      const i64 off = h * 8;
+      b.setvs(kW);
+      Reg p;
+      if (!bx && !by) p = b.vld(corner, off, refg);
+      else if (bx && !by)
+        p = b.v2(Opcode::V_PAVGB, b.vld(corner, off, refg), b.vld(corner, off + 1, refg));
+      else if (!bx && by)
+        p = b.v2(Opcode::V_PAVGB, b.vld(corner, off, refg), b.vld(corner, off + kW, refg));
+      else {
+        Reg t0 = b.v2(Opcode::V_PAVGB, b.vld(corner, off, refg), b.vld(corner, off + 1, refg));
+        Reg t1 = b.v2(Opcode::V_PAVGB, b.vld(corner, off + kW, refg),
+                      b.vld(corner, off + kW + 1, refg));
+        p = b.v2(Opcode::V_PAVGB, t0, t1);
+      }
+      b.setvs(16);
+      b.vst(p, pred, h * 8, predg);
+    }
+    b.setvs(kW);
+  };
+  b.unless(Opcode::BNE, hx, zero, [&] {
+    b.unless(Opcode::BNE, hy, zero, [&] { body(false, false); });
+    b.unless(Opcode::BEQ, hy, zero, [&] { body(false, true); });
+  });
+  b.unless(Opcode::BEQ, hx, zero, [&] {
+    b.unless(Opcode::BNE, hy, zero, [&] { body(true, false); });
+    b.unless(Opcode::BEQ, hy, zero, [&] { body(true, true); });
+  });
+}
+
+/// Decoder R3: add block (residual + prediction, saturating).
+void emit_add_block_variant(ProgramBuilder& b, const MpegCtx& m, Reg rec,
+                            u16 recg, i32 mx, i32 my, bool intra, Reg c128pool,
+                            const SplatPool& sp) {
+  if (m.var == Variant::kScalar || m.var == Variant::kMusimd) {
+    Reg zero = b.movi(0), c255 = b.movi(255);
+    for (int blk = 0; blk < 4; ++blk) {
+      const i32 bx = (blk & 1) * 8, by = (blk >> 1) * 8;
+      b.for_range(0, 8, 1, [&](Reg r) {
+        Reg rowrec = b.add(rec, b.add(b.mul(r, b.movi(kW)),
+                                      b.movi((my + by) * kW + mx + bx)));
+        Reg rowp = intra ? Reg{} : b.add(m.pred, b.add(b.slli(r, 4), b.movi(by * 16 + bx)));
+        Reg rowo = b.add(m.coef, b.slli(r, m.layout == CoefLayout::kStripe ? 7 : 4));
+        for (int c = 0; c < 8; ++c) {
+          Reg pv = intra ? b.movi(128) : b.ldbu(rowp, c, m.predg);
+          Reg v = b.add(b.ldh(rowo, m.resid_off(blk, 0, c), m.coefg), pv);
+          b.stb(b.min_(b.max_(v, zero), c255), rowrec, c, recg);
+        }
+      });
+    }
+    return;
+  }
+
+  // Vector: per block, 2 strided residual loads + strided pred rows.
+  b.setvl(8);
+  Reg zerov = b.vld(c128pool, sp.offset_of(0), sp.buf.group);
+  Reg c128v = b.vld(c128pool, sp.offset_of(128), sp.buf.group);
+  for (int blk = 0; blk < 4; ++blk) {
+    const i32 bx = (blk & 1) * 8, by = (blk >> 1) * 8;
+    b.setvs(128);  // slot stride for rows of this block in the stripe layout
+    Reg r0 = b.vld(m.coef, blk * 8, m.coefg);        // halves h=0, rows 0..7
+    Reg r1 = b.vld(m.coef, blk * 8 + 64, m.coefg);   // halves h=1
+    Reg p0, p1;
+    if (intra) {
+      p0 = c128v;
+      p1 = c128v;
+    } else {
+      b.setvs(16);
+      Reg pw = b.vld(m.pred, by * 16 + bx, m.predg);  // 8 pred rows (bytes)
+      p0 = b.v2(Opcode::V_PUNPCKLBH, pw, zerov);
+      p1 = b.v2(Opcode::V_PUNPCKHBH, pw, zerov);
+    }
+    Reg s0 = b.v2(Opcode::V_PADDH, r0, p0);
+    Reg s1 = b.v2(Opcode::V_PADDH, r1, p1);
+    Reg packed = b.v2(Opcode::V_PACKUSHB, s0, s1);
+    b.setvs(kW);
+    b.vst(packed, rec, (my + by) * kW + mx + bx, recg);
+  }
+}
+
+}  // namespace
+
+BuiltApp build_mpeg2_dec(Variant var) {
+  const auto frames = make_test_video(kW, kH, kFrames, 3, 1);
+  Mpeg2Params params;
+  params.width = kW;
+  params.height = kH;
+  params.search_range = kRange;
+  const std::vector<u8> stream = mpeg2_encode(frames, params);
+  const auto golden = mpeg2_decode(stream);
+
+  auto ws = std::make_unique<Workspace>();
+  Buffer in = ws->alloc(static_cast<u32>(stream.size() + 16));
+  ws->write_u8(in, stream);
+  std::array<Buffer, kFrames> fout;
+  for (auto& bu : fout) bu = ws->alloc(kW * kH);
+  Buffer coef = ws->alloc(1024);
+  Buffer batch = ws->alloc(1024);
+  Buffer pred = ws->alloc(256);
+  Buffer dctpool = ws->alloc(2048);
+  write_dct_const_pool(*ws, dctpool);
+  SplatPool sp = make_splat_pool(*ws, {0, 128});
+
+  const CoefLayout layout = var == Variant::kScalar  ? CoefLayout::kGolden
+                            : var == Variant::kMusimd ? CoefLayout::kPacked
+                                                      : CoefLayout::kStripe;
+  Buffer zzlut = ws->alloc(64 * 4);
+  ws->write_i32(zzlut, zz_byte_offsets(layout));
+  Buffer qzz = ws->alloc(128), szz = ws->alloc(128);
+  ws->write_i16(qzz, zz_i16(mpeg2_qrecip2()));
+  ws->write_i16(szz, zz_i16(mpeg2_qstep()));
+
+  ProgramBuilder b;
+  MpegCtx m;
+  m.var = var;
+  m.layout = layout;
+  m.zzlut = b.movi(zzlut.addr);
+  m.qzz = b.movi(qzz.addr);
+  m.szz = b.movi(szz.addr);
+  m.lutg = zzlut.group;
+  m.coefg = coef.group;
+  m.coef = b.movi(coef.addr);
+  m.pred = b.movi(pred.addr);
+  m.predg = pred.group;
+  Reg dctpoolr = b.movi(dctpool.addr);
+  Reg batchr = b.movi(batch.addr);
+  Reg spoolr = b.movi(sp.buf.addr);
+
+  BitReaderEmit br;
+  Reg inr = b.movi(in.addr);
+  br.init(b, inr, in.group);
+  br.get_imm(b, 16);
+  br.get_imm(b, 16);
+  br.get_imm(b, 8);
+
+  for (int f = 0; f < kFrames; ++f) {
+    const bool intra = f == 0;
+    Reg rec = b.movi(fout[static_cast<size_t>(f)].addr);
+    Reg ref = b.movi(fout[0].addr);
+    const u16 recg = fout[static_cast<size_t>(f)].group;
+    const u16 refg = fout[0].group;
+    Reg dcpred = b.movi(0);
+
+    for (i32 mby = 0; mby < kMby; ++mby)
+      for (i32 mbx = 0; mbx < kMbx; ++mbx) {
+        const i32 mx = mbx * 16, my = mby * 16;
+
+        if (!intra) {
+          Reg fx = b.addi(br.gamma(b), -1);
+          Reg fy = b.addi(br.gamma(b), -1);
+          // unfold: odd -> (f+1)/2, even -> -f/2 ; then absolute position.
+          auto unfold = [&](Reg fv, i32 base) {
+            Reg zero = b.movi(0);
+            Reg v = b.movi(0);
+            Reg odd = b.andi(fv, 1);
+            b.unless(Opcode::BEQ, odd, zero, [&] {
+              b.mov_to(v, b.srai(b.addi(fv, 1), 1));
+            });
+            b.unless(Opcode::BNE, odd, zero, [&] {
+              b.mov_to(v, b.sub(zero, b.srai(fv, 1)));
+            });
+            return b.addi(v, 2 * base);
+          };
+          Reg afx = unfold(fx, mx);
+          Reg afy = unfold(fy, my);
+          b.begin_region(1, "form component prediction");
+          emit_form_pred_variant(b, var, ref, refg, m.pred, m.predg, afx, afy);
+          b.end_region();
+        }
+
+        emit_memzero(b, m.coef, 1024, m.coefg);
+        for (int blk = 0; blk < 4; ++blk)
+          emit_decode_block(b, br, m.block_base(b, blk), m.coefg, m.zzlut, m.lutg, dcpred);
+        for (int blk = 0; blk < 4; ++blk) emit_dequant_block(b, m, m.block_base(b, blk));
+
+        b.begin_region(2, "inverse DCT");
+        emit_mb_dct(b, m, idct_table(), false, dctpoolr, dctpool.group, batchr,
+                    batch.group);
+        b.end_region();
+
+        b.begin_region(3, "add block");
+        emit_add_block_variant(b, m, rec, recg, mx, my, intra, spoolr, sp);
+        b.end_region();
+      }
+  }
+
+  BuiltApp app;
+  app.name = std::string("mpeg2_dec.") + variant_name(var);
+  app.program = b.take();
+  app.ws = std::move(ws);
+  app.verify = [golden, fout](const Workspace& w) -> std::string {
+    for (int f = 0; f < kFrames; ++f) {
+      const auto rec = w.read_u8(fout[static_cast<size_t>(f)], golden[static_cast<size_t>(f)].size());
+      for (size_t i = 0; i < rec.size(); ++i)
+        if (rec[i] != golden[static_cast<size_t>(f)][i])
+          return "frame " + std::to_string(f) + " differs at " + std::to_string(i);
+    }
+    return "";
+  };
+  return app;
+}
+
+}  // namespace vuv

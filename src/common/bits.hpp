@@ -1,0 +1,81 @@
+// Sub-word packing and saturating arithmetic used by the µSIMD semantics.
+//
+// A µSIMD register is a 64-bit word holding eight 8-bit, four 16-bit or two
+// 32-bit items (paper §3.1). These helpers extract/insert lanes and perform
+// the saturating operations of the MMX/SSE-style opcode set.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace vuv {
+
+/// Number of sub-word items a 64-bit word holds at a given element width.
+constexpr int lanes_for_width(int bits) { return 64 / bits; }
+
+// ---- lane extraction / insertion -----------------------------------------
+
+inline u64 get_lane(u64 word, int lane, int bits) {
+  const u64 mask = (bits == 64) ? ~u64{0} : ((u64{1} << bits) - 1);
+  return (word >> (lane * bits)) & mask;
+}
+
+inline i64 get_lane_signed(u64 word, int lane, int bits) {
+  const u64 v = get_lane(word, lane, bits);
+  const u64 sign = u64{1} << (bits - 1);
+  return (v & sign) ? static_cast<i64>(v | (~u64{0} << bits))
+                    : static_cast<i64>(v);
+}
+
+inline u64 set_lane(u64 word, int lane, int bits, u64 value) {
+  const u64 mask = (bits == 64) ? ~u64{0} : ((u64{1} << bits) - 1);
+  const int sh = lane * bits;
+  return (word & ~(mask << sh)) | ((value & mask) << sh);
+}
+
+// ---- saturation ------------------------------------------------------------
+
+/// Clamp a signed value into the signed range of `bits` bits.
+constexpr i64 sat_signed(i64 v, int bits) {
+  const i64 lo = -(i64{1} << (bits - 1));
+  const i64 hi = (i64{1} << (bits - 1)) - 1;
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Clamp a signed value into the unsigned range of `bits` bits.
+constexpr i64 sat_unsigned(i64 v, int bits) {
+  const i64 hi = (i64{1} << bits) - 1;
+  return v < 0 ? 0 : (v > hi ? hi : v);
+}
+
+/// Wrap into `bits` bits (modular arithmetic).
+constexpr u64 wrap(i64 v, int bits) {
+  const u64 mask = (bits == 64) ? ~u64{0} : ((u64{1} << bits) - 1);
+  return static_cast<u64>(v) & mask;
+}
+
+// ---- whole-word helpers ----------------------------------------------------
+
+/// Apply a lane-wise binary function over two packed words.
+template <typename F>
+u64 map_lanes(u64 a, u64 b, int bits, F&& f) {
+  u64 out = 0;
+  for (int l = 0; l < lanes_for_width(bits); ++l) {
+    out = set_lane(out, l, bits, static_cast<u64>(f(l, a, b)));
+  }
+  return out;
+}
+
+/// Sum of absolute differences across the eight byte lanes of two words.
+inline u64 sad_bytes(u64 a, u64 b) {
+  u64 sum = 0;
+  for (int l = 0; l < 8; ++l) {
+    const i64 x = static_cast<i64>(get_lane(a, l, 8));
+    const i64 y = static_cast<i64>(get_lane(b, l, 8));
+    sum += static_cast<u64>(x > y ? x - y : y - x);
+  }
+  return sum;
+}
+
+}  // namespace vuv

@@ -1,0 +1,44 @@
+// Error types for the toolchain and simulator.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vuv {
+
+/// Base class for all vuv errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed IR (verifier failures, type mismatches, bad operands).
+class IrError : public Error {
+ public:
+  explicit IrError(const std::string& what) : Error("ir: " + what) {}
+};
+
+/// Compilation failures (register pressure, unschedulable ops).
+class CompileError : public Error {
+ public:
+  explicit CompileError(const std::string& what) : Error("compile: " + what) {}
+};
+
+/// Run-time simulation failures (bad address, watchdog, illegal op).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("sim: " + what) {}
+};
+
+/// Internal invariant violation; indicates a bug in vuv itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal: " + what) {}
+};
+
+#define VUV_CHECK(cond, msg)                       \
+  do {                                             \
+    if (!(cond)) throw ::vuv::InternalError(msg);  \
+  } while (0)
+
+}  // namespace vuv

@@ -1,0 +1,26 @@
+#include "common/log.hpp"
+
+namespace vuv {
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+void log_emit(LogLevel level, const std::string& msg) {
+  std::cerr << "[vuv:" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace vuv

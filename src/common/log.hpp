@@ -1,0 +1,32 @@
+// Tiny leveled logger. Off by default; benches/tests enable what they need.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vuv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+void log_emit(LogLevel level, const std::string& msg);
+
+#define VUV_LOG(level, expr)                                  \
+  do {                                                        \
+    if (static_cast<int>(level) >=                            \
+        static_cast<int>(::vuv::log_threshold())) {           \
+      std::ostringstream vuv_log_os;                          \
+      vuv_log_os << expr;                                     \
+      ::vuv::log_emit(level, vuv_log_os.str());               \
+    }                                                         \
+  } while (0)
+
+#define VUV_DEBUG(expr) VUV_LOG(::vuv::LogLevel::kDebug, expr)
+#define VUV_INFO(expr) VUV_LOG(::vuv::LogLevel::kInfo, expr)
+#define VUV_WARN(expr) VUV_LOG(::vuv::LogLevel::kWarn, expr)
+
+}  // namespace vuv

@@ -1,0 +1,37 @@
+// Deterministic pseudo-random generator for synthetic workload data.
+//
+// A fixed LCG (not std::mt19937) so workload bytes are identical across
+// platforms and standard-library versions: experiment outputs must be
+// reproducible bit-for-bit.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace vuv {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x853c49e6748fea9bULL) : state_(seed) {}
+
+  /// Next 32 uniform bits (PCG-XSH-RR).
+  u32 next_u32() {
+    const u64 old = state_;
+    state_ = old * 6364136223846793005ULL + 1442695040888963407ULL;
+    const u32 xorshifted = static_cast<u32>(((old >> 18u) ^ old) >> 27u);
+    const u32 rot = static_cast<u32>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  /// Uniform in [0, n).
+  u32 below(u32 n) { return n == 0 ? 0 : next_u32() % n; }
+
+  /// Uniform in [lo, hi].
+  i32 range(i32 lo, i32 hi) {
+    return lo + static_cast<i32>(below(static_cast<u32>(hi - lo + 1)));
+  }
+
+ private:
+  u64 state_;
+};
+
+}  // namespace vuv

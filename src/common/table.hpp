@@ -1,0 +1,56 @@
+// Minimal aligned-column text table, used by the benchmark harness to print
+// paper-style tables (paper value vs measured value side by side).
+#pragma once
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vuv {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  std::string to_string() const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    std::ostringstream os;
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string{};
+        os << (i == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(width[i])) << c;
+      }
+      os << " |\n";
+    };
+    line(header_);
+    for (std::size_t i = 0; i < width.size(); ++i)
+      os << (i == 0 ? "|" : "-|") << std::string(width[i] + 2, '-');
+    os << "-|\n";
+    for (const auto& r : rows_) line(r);
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vuv

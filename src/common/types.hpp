@@ -1,0 +1,41 @@
+// Fixed-width scalar types and small helpers shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vuv {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated memory addresses are 32-bit: the modelled machines are
+/// embedded-class media processors with small working sets.
+using Addr = u32;
+
+/// Simulated cycle counts.
+using Cycle = i64;
+
+/// Integer ceiling division for non-negative values.
+constexpr i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+
+/// True if `v` is a power of two (v > 0).
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr int log2_pow2(u64 v) {
+  int n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vuv

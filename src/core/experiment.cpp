@@ -1,0 +1,26 @@
+#include "core/experiment.hpp"
+
+namespace vuv {
+
+AppResult run_app_variant(App app, Variant variant, MachineConfig cfg,
+                          bool perfect_memory) {
+  cfg.mem.perfect = perfect_memory;
+  BuiltApp built = build_app(app, variant);
+  const ScheduledProgram sp = compile(std::move(built.program), cfg);
+  Cpu cpu(sp, built.ws->mem());
+  // Steady-state working set (see MemorySystem::warm and DESIGN.md).
+  cpu.warm(0, built.ws->used());
+  AppResult res;
+  res.app = built.name;
+  res.config = cfg.name;
+  res.sim = cpu.run();
+  res.verify_error = built.verify(*built.ws);
+  res.verified = res.verify_error.empty();
+  return res;
+}
+
+AppResult run_app(App app, MachineConfig cfg, bool perfect_memory) {
+  return run_app_variant(app, variant_for(cfg.isa), cfg, perfect_memory);
+}
+
+}  // namespace vuv

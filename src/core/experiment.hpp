@@ -1,0 +1,30 @@
+// Public facade: compile and simulate one application on one machine
+// configuration, with output verification against the golden codecs.
+// This is the API the benchmark harness, the examples and the integration
+// tests consume.
+#pragma once
+
+#include "apps/apps.hpp"
+#include "sched/schedule.hpp"
+#include "sim/cpu.hpp"
+
+namespace vuv {
+
+struct AppResult {
+  std::string app;
+  std::string config;
+  SimResult sim;
+  bool verified = false;
+  std::string verify_error;
+};
+
+/// Build the app in the variant matching `cfg`'s ISA level, compile it for
+/// `cfg`, simulate, and verify outputs. Set `perfect_memory` for the paper's
+/// §5.1 perfect-memory runs.
+AppResult run_app(App app, MachineConfig cfg, bool perfect_memory = false);
+
+/// As run_app but with an explicit variant (used by tests/ablations).
+AppResult run_app_variant(App app, Variant variant, MachineConfig cfg,
+                          bool perfect_memory = false);
+
+}  // namespace vuv

@@ -1,0 +1,282 @@
+#include "ir/builder.hpp"
+
+#include "common/error.hpp"
+
+namespace vuv {
+
+ProgramBuilder::ProgramBuilder() {
+  BasicBlock entry;
+  entry.id = 0;
+  prog_.blocks.push_back(entry);
+  prog_.entry = 0;
+  cur_ = 0;
+}
+
+Reg ProgramBuilder::fresh(RegClass cls) {
+  i32& n = prog_.reg_count[static_cast<size_t>(cls)];
+  return Reg{cls, n++};
+}
+
+Reg ProgramBuilder::emit(Operation op) {
+  cur().ops.push_back(op);
+  return op.dst;
+}
+
+Reg ProgramBuilder::emit2(Opcode opc, Reg a, Reg b) {
+  const OpInfo& info = op_info(opc);
+  Operation op;
+  op.op = opc;
+  if (info.dst != RegClass::kNone) op.dst = fresh(info.dst);
+  op.src[0] = a;
+  op.src[1] = b;
+  return emit(op);
+}
+
+Reg ProgramBuilder::emit1i(Opcode opc, Reg a, i64 imm) {
+  const OpInfo& info = op_info(opc);
+  Operation op;
+  op.op = opc;
+  if (info.dst != RegClass::kNone) op.dst = fresh(info.dst);
+  op.src[0] = a;
+  op.imm = imm;
+  return emit(op);
+}
+
+Reg ProgramBuilder::movi(i64 v) {
+  Operation op;
+  op.op = Opcode::MOVI;
+  op.dst = fresh(RegClass::kInt);
+  op.imm = v;
+  return emit(op);
+}
+
+Reg ProgramBuilder::mov(Reg a) { return emit2(Opcode::MOV, a, Reg{}); }
+
+void ProgramBuilder::mov_to(Reg dst, Reg a) {
+  Operation op;
+  op.op = Opcode::MOV;
+  op.dst = dst;
+  op.src[0] = a;
+  emit(op);
+}
+
+void ProgramBuilder::addi_to(Reg dst, Reg a, i64 v) {
+  Operation op;
+  op.op = Opcode::ADDI;
+  op.dst = dst;
+  op.src[0] = a;
+  op.imm = v;
+  emit(op);
+}
+
+Reg ProgramBuilder::abs_(Reg a) { return emit2(Opcode::ABS, a, Reg{}); }
+
+Reg ProgramBuilder::load(Opcode opc, Reg base, i64 off, u16 group) {
+  const OpInfo& info = op_info(opc);
+  Operation op;
+  op.op = opc;
+  op.dst = fresh(info.dst);
+  op.src[0] = base;
+  op.imm = off;
+  op.alias_group = group;
+  return emit(op);
+}
+
+void ProgramBuilder::store(Opcode opc, Reg val, Reg base, i64 off, u16 group) {
+  Operation op;
+  op.op = opc;
+  op.src[0] = val;
+  op.src[1] = base;
+  op.imm = off;
+  op.alias_group = group;
+  emit(op);
+}
+
+Reg ProgramBuilder::movis(u64 bits) {
+  Operation op;
+  op.op = Opcode::MOVIS;
+  op.dst = fresh(RegClass::kSimd);
+  op.imm = static_cast<i64>(bits);
+  return emit(op);
+}
+
+Reg ProgramBuilder::pinsrh(Reg s, Reg val, int lane) {
+  Operation op;
+  op.op = Opcode::PINSRH;
+  op.dst = fresh(RegClass::kSimd);
+  op.src[0] = s;
+  op.src[1] = val;
+  op.imm = lane;
+  return emit(op);
+}
+
+void ProgramBuilder::vsadacc(Reg acc, Reg a, Reg b) {
+  Operation op;
+  op.op = Opcode::VSADACC;
+  op.dst = acc;
+  op.src[0] = a;
+  op.src[1] = b;
+  op.src[2] = acc;
+  emit(op);
+}
+
+void ProgramBuilder::vmach(Reg acc, Reg a, Reg b) {
+  Operation op;
+  op.op = Opcode::VMACH;
+  op.dst = acc;
+  op.src[0] = a;
+  op.src[1] = b;
+  op.src[2] = acc;
+  emit(op);
+}
+
+Reg ProgramBuilder::clracc() {
+  Reg acc = areg();
+  clracc_to(acc);
+  return acc;
+}
+
+void ProgramBuilder::clracc_to(Reg acc) {
+  Operation op;
+  op.op = Opcode::CLRACC;
+  op.dst = acc;
+  emit(op);
+}
+
+void ProgramBuilder::setvl(i64 vl) {
+  Operation op;
+  op.op = Opcode::SETVLI;
+  op.imm = vl;
+  emit(op);
+}
+
+void ProgramBuilder::setvl(Reg r) {
+  Operation op;
+  op.op = Opcode::SETVL;
+  op.src[0] = r;
+  emit(op);
+}
+
+void ProgramBuilder::setvs(i64 stride_bytes) {
+  Operation op;
+  op.op = Opcode::SETVSI;
+  op.imm = stride_bytes;
+  emit(op);
+}
+
+void ProgramBuilder::setvs(Reg r) {
+  Operation op;
+  op.op = Opcode::SETVS;
+  op.src[0] = r;
+  emit(op);
+}
+
+i32 ProgramBuilder::new_block() {
+  BasicBlock blk;
+  blk.id = static_cast<i32>(prog_.blocks.size());
+  blk.region = region_;
+  prog_.blocks.push_back(blk);
+  return blk.id;
+}
+
+void ProgramBuilder::switch_to(i32 block) { cur_ = block; }
+
+void ProgramBuilder::set_fallthrough(i32 from, i32 to) {
+  prog_.block(from).fallthrough = to;
+}
+
+void ProgramBuilder::branch(Opcode cc, Reg a, Reg b, i32 taken) {
+  Operation op;
+  op.op = cc;
+  op.src[0] = a;
+  op.src[1] = b;
+  op.target_block = taken;
+  emit(op);
+  advance_block();
+}
+
+void ProgramBuilder::jump(i32 target) {
+  Operation op;
+  op.op = Opcode::JMP;
+  op.target_block = target;
+  emit(op);
+  // Continue in a fresh block that is NOT a successor of the current one;
+  // callers are expected to direct control into it explicitly.
+  const i32 next = new_block();
+  cur_ = next;
+}
+
+void ProgramBuilder::advance_block() {
+  const i32 next = new_block();
+  cur().fallthrough = next;
+  cur_ = next;
+}
+
+void ProgramBuilder::for_range(i64 start, i64 end, i64 step,
+                               const std::function<void(Reg)>& body) {
+  VUV_CHECK(start < end && step > 0, "for_range requires start < end, step > 0");
+  Reg i = movi(start);
+  Reg bound = movi(end);
+  const i32 head = new_block();
+  cur().fallthrough = head;
+  switch_to(head);
+  body(i);
+  addi_to(i, i, step);
+  branch(Opcode::BLT, i, bound, head);
+}
+
+void ProgramBuilder::for_range(Reg start, Reg end, i64 step,
+                               const std::function<void(Reg)>& body) {
+  Reg i = mov(start);
+  const i32 head = new_block();
+  cur().fallthrough = head;
+  switch_to(head);
+  body(i);
+  addi_to(i, i, step);
+  branch(Opcode::BLT, i, end, head);
+}
+
+void ProgramBuilder::unless(Opcode cc, Reg a, Reg b,
+                            const std::function<void()>& body) {
+  // branch() moves us to the fallthrough block where the body goes; the
+  // branch target (created afterwards) is the join block.
+  Operation op;
+  op.op = cc;
+  op.src[0] = a;
+  op.src[1] = b;
+  const size_t patch_block = static_cast<size_t>(cur_);
+  const size_t patch_index = cur().ops.size();
+  emit(op);  // target patched below
+  advance_block();
+  body();
+  const i32 join = new_block();
+  cur().fallthrough = join;
+  prog_.block(static_cast<i32>(patch_block)).ops[patch_index].target_block = join;
+  switch_to(join);
+}
+
+void ProgramBuilder::begin_region(u8 id, const std::string& name) {
+  while (prog_.region_names.size() <= id) prog_.region_names.emplace_back();
+  prog_.region_names[id] = name;
+  region_ = id;
+  if (!cur().ops.empty() || cur().region != id) {
+    advance_block();
+    cur().region = id;
+  }
+}
+
+void ProgramBuilder::end_region() {
+  region_ = 0;
+  advance_block();
+  cur().region = 0;
+}
+
+Program ProgramBuilder::take() {
+  Operation halt;
+  halt.op = Opcode::HALT;
+  emit(halt);
+  verify(prog_);
+  return std::move(prog_);
+}
+
+}  // namespace vuv

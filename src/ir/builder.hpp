@@ -1,0 +1,159 @@
+// ProgramBuilder: the hand-coding API used to write the scalar, µSIMD and
+// Vector-µSIMD versions of each application — the stand-in for the paper's
+// emulation libraries (§3.3: "we have used emulation libraries to hand-write
+// µSIMD and Vector-µSIMD code").
+//
+// The builder produces a CFG of basic blocks over virtual registers.
+// Structured-control helpers (for_range / if-blocks) keep application code
+// readable; raw block plumbing is available for irregular control flow.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace vuv {
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder();
+
+  // ---- registers ----------------------------------------------------------
+  Reg ireg() { return fresh(RegClass::kInt); }
+  Reg sreg() { return fresh(RegClass::kSimd); }
+  Reg vreg() { return fresh(RegClass::kVreg); }
+  Reg areg() { return fresh(RegClass::kAcc); }
+
+  // ---- generic emission ---------------------------------------------------
+  /// Append an operation to the current block. Returns dst (may be invalid).
+  Reg emit(Operation op);
+
+  /// Emit `opc dst, a, b` into a fresh dst of the op's dst class.
+  Reg emit2(Opcode opc, Reg a, Reg b);
+  /// Emit `opc dst, a, imm` into a fresh dst.
+  Reg emit1i(Opcode opc, Reg a, i64 imm);
+
+  // ---- scalar sugar -------------------------------------------------------
+  Reg movi(i64 v);
+  Reg mov(Reg a);
+  void mov_to(Reg dst, Reg a);  // dst must be an existing int register
+  Reg add(Reg a, Reg b) { return emit2(Opcode::ADD, a, b); }
+  Reg sub(Reg a, Reg b) { return emit2(Opcode::SUB, a, b); }
+  Reg mul(Reg a, Reg b) { return emit2(Opcode::MUL, a, b); }
+  Reg div(Reg a, Reg b) { return emit2(Opcode::DIV, a, b); }
+  Reg sll(Reg a, Reg b) { return emit2(Opcode::SLL, a, b); }
+  Reg srl(Reg a, Reg b) { return emit2(Opcode::SRL, a, b); }
+  Reg sra(Reg a, Reg b) { return emit2(Opcode::SRA, a, b); }
+  Reg and_(Reg a, Reg b) { return emit2(Opcode::AND, a, b); }
+  Reg or_(Reg a, Reg b) { return emit2(Opcode::OR, a, b); }
+  Reg xor_(Reg a, Reg b) { return emit2(Opcode::XOR, a, b); }
+  Reg addi(Reg a, i64 v) { return emit1i(Opcode::ADDI, a, v); }
+  void addi_to(Reg dst, Reg a, i64 v);
+  Reg slli(Reg a, i64 v) { return emit1i(Opcode::SLLI, a, v); }
+  Reg srli(Reg a, i64 v) { return emit1i(Opcode::SRLI, a, v); }
+  Reg srai(Reg a, i64 v) { return emit1i(Opcode::SRAI, a, v); }
+  Reg andi(Reg a, i64 v) { return emit1i(Opcode::ANDI, a, v); }
+  Reg ori(Reg a, i64 v) { return emit1i(Opcode::ORI, a, v); }
+  Reg xori(Reg a, i64 v) { return emit1i(Opcode::XORI, a, v); }
+  Reg slt(Reg a, Reg b) { return emit2(Opcode::SLT, a, b); }
+  Reg sltu(Reg a, Reg b) { return emit2(Opcode::SLTU, a, b); }
+  Reg seq(Reg a, Reg b) { return emit2(Opcode::SEQ, a, b); }
+  Reg min_(Reg a, Reg b) { return emit2(Opcode::MIN, a, b); }
+  Reg max_(Reg a, Reg b) { return emit2(Opcode::MAX, a, b); }
+  Reg abs_(Reg a);
+
+  // ---- scalar memory ------------------------------------------------------
+  Reg load(Opcode op, Reg base, i64 off, u16 group);
+  Reg ldb(Reg b, i64 o, u16 g) { return load(Opcode::LDB, b, o, g); }
+  Reg ldbu(Reg b, i64 o, u16 g) { return load(Opcode::LDBU, b, o, g); }
+  Reg ldh(Reg b, i64 o, u16 g) { return load(Opcode::LDH, b, o, g); }
+  Reg ldhu(Reg b, i64 o, u16 g) { return load(Opcode::LDHU, b, o, g); }
+  Reg ldw(Reg b, i64 o, u16 g) { return load(Opcode::LDW, b, o, g); }
+  Reg ldd(Reg b, i64 o, u16 g) { return load(Opcode::LDD, b, o, g); }
+  void store(Opcode op, Reg val, Reg base, i64 off, u16 group);
+  void stb(Reg v, Reg b, i64 o, u16 g) { store(Opcode::STB, v, b, o, g); }
+  void sth(Reg v, Reg b, i64 o, u16 g) { store(Opcode::STH, v, b, o, g); }
+  void stw(Reg v, Reg b, i64 o, u16 g) { store(Opcode::STW, v, b, o, g); }
+  void std_(Reg v, Reg b, i64 o, u16 g) { store(Opcode::STD, v, b, o, g); }
+
+  // ---- µSIMD sugar --------------------------------------------------------
+  Reg m2(Opcode opc, Reg a, Reg b) { return emit2(opc, a, b); }
+  Reg mi(Opcode opc, Reg a, i64 imm) { return emit1i(opc, a, imm); }
+  Reg ldqs(Reg base, i64 off, u16 group) { return load(Opcode::LDQS, base, off, group); }
+  void stqs(Reg v, Reg base, i64 off, u16 group) { store(Opcode::STQS, v, base, off, group); }
+  Reg movis(u64 bits);
+  Reg movi2s(Reg a) { return emit2(Opcode::MOVI2S, a, Reg{}); }
+  Reg movs2i(Reg a) { return emit2(Opcode::MOVS2I, a, Reg{}); }
+  Reg pextrh(Reg a, int lane) { return emit1i(Opcode::PEXTRH, a, lane); }
+  Reg pinsrh(Reg s, Reg val, int lane);
+
+  // ---- vector sugar -------------------------------------------------------
+  Reg v2(Opcode opc, Reg a, Reg b) { return emit2(opc, a, b); }
+  Reg vi(Opcode opc, Reg a, i64 imm) { return emit1i(opc, a, imm); }
+  Reg vld(Reg base, i64 off, u16 group) { return load(Opcode::VLD, base, off, group); }
+  void vst(Reg v, Reg base, i64 off, u16 group) { store(Opcode::VST, v, base, off, group); }
+  /// acc += lane-wise SAD over bytes of VL element pairs.
+  void vsadacc(Reg acc, Reg a, Reg b);
+  /// acc += lane-wise 16x16 signed products of VL element pairs.
+  void vmach(Reg acc, Reg a, Reg b);
+  Reg clracc();             // fresh acc register, cleared
+  void clracc_to(Reg acc);  // clear existing acc register
+  Reg sumacb(Reg acc) { return emit2(Opcode::SUMACB, acc, Reg{}); }
+  Reg sumach(Reg acc) { return emit2(Opcode::SUMACH, acc, Reg{}); }
+  void setvl(i64 vl);
+  void setvl(Reg r);
+  void setvs(i64 stride_bytes);
+  void setvs(Reg r);
+
+  // ---- control flow -------------------------------------------------------
+  /// Create a new (empty) block inheriting the current region. Does not move
+  /// the insertion point.
+  i32 new_block();
+  /// Move the insertion point; does NOT create fallthrough edges.
+  void switch_to(i32 block);
+  i32 current_block() const { return cur_; }
+  /// Set the fallthrough successor of a block.
+  void set_fallthrough(i32 from, i32 to);
+  /// Terminate the current block with a conditional branch, then continue in
+  /// a fresh fallthrough block.
+  void branch(Opcode cc, Reg a, Reg b, i32 taken);
+  void jump(i32 target);
+
+  /// Counting loop: executes body(i) for i = start, start+step, ... while
+  /// i < end (do-while form: the body always runs at least once, so the
+  /// caller must guarantee start < end).
+  void for_range(i64 start, i64 end, i64 step, const std::function<void(Reg)>& body);
+  /// As above but with register bounds (still do-while).
+  void for_range(Reg start, Reg end, i64 step, const std::function<void(Reg)>& body);
+
+  /// Execute `then_body` iff `cc(a, b)` is false... i.e. emits a branch that
+  /// SKIPS the body when the condition holds. Reads naturally as
+  /// `unless(cc, a, b, body)`.
+  void unless(Opcode cc, Reg a, Reg b, const std::function<void()>& body);
+
+  // ---- regions ------------------------------------------------------------
+  /// Start attributing subsequent code to region `id` (named `name`).
+  /// Splits the current block if it already has operations.
+  void begin_region(u8 id, const std::string& name);
+  /// Return to the scalar region (region 0).
+  void end_region();
+
+  // ---- finish -------------------------------------------------------------
+  /// Append HALT, verify, and return the finished program.
+  Program take();
+
+  Program& program() { return prog_; }
+
+ private:
+  Reg fresh(RegClass cls);
+  BasicBlock& cur() { return prog_.block(cur_); }
+  /// Split point helper: new block, link fallthrough, move there.
+  void advance_block();
+
+  Program prog_;
+  i32 cur_ = 0;
+  u8 region_ = 0;
+};
+
+}  // namespace vuv

@@ -1,0 +1,177 @@
+// Opcode definitions for the three ISA levels:
+//   scalar VLIW core ops, the µSIMD extension (MMX/SSE-like packed ops on
+//   64-bit registers), and the Vector-µSIMD extension (MOM-like vector ops
+//   whose every sub-operation is a µSIMD operation; paper §3.1).
+//
+// Packed opcodes are declared once in VUV_PACKED_OPS and instantiated twice:
+// as µSIMD ops (prefix M semantics, SIMD registers) and as vector ops
+// (prefix V, vector registers, executed VL times under the VL/VS special
+// registers).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "isa/reg.hpp"
+
+namespace vuv {
+
+// name, element width in bits, flow latency, #register sources, has_imm
+#define VUV_PACKED_OPS(X)      \
+  X(PADDB, 8, 2, 2, 0)         \
+  X(PADDH, 16, 2, 2, 0)        \
+  X(PADDW, 32, 2, 2, 0)        \
+  X(PADDSB, 8, 2, 2, 0)        \
+  X(PADDSH, 16, 2, 2, 0)       \
+  X(PADDUSB, 8, 2, 2, 0)       \
+  X(PADDUSH, 16, 2, 2, 0)      \
+  X(PSUBB, 8, 2, 2, 0)         \
+  X(PSUBH, 16, 2, 2, 0)        \
+  X(PSUBW, 32, 2, 2, 0)        \
+  X(PSUBSB, 8, 2, 2, 0)        \
+  X(PSUBSH, 16, 2, 2, 0)       \
+  X(PSUBUSB, 8, 2, 2, 0)       \
+  X(PSUBUSH, 16, 2, 2, 0)      \
+  X(PMULLH, 16, 3, 2, 0)       \
+  X(PMULHH, 16, 3, 2, 0)       \
+  X(PMULHUH, 16, 3, 2, 0)      \
+  X(PMADDH, 16, 3, 2, 0)       \
+  X(PAVGB, 8, 2, 2, 0)         \
+  X(PAVGH, 16, 2, 2, 0)        \
+  X(PMINUB, 8, 2, 2, 0)        \
+  X(PMAXUB, 8, 2, 2, 0)        \
+  X(PMINSH, 16, 2, 2, 0)       \
+  X(PMAXSH, 16, 2, 2, 0)       \
+  X(PSADBW, 8, 3, 2, 0)        \
+  X(PACKSSHB, 16, 2, 2, 0)     \
+  X(PACKUSHB, 16, 2, 2, 0)     \
+  X(PACKSSWH, 32, 2, 2, 0)     \
+  X(PUNPCKLBH, 8, 2, 2, 0)     \
+  X(PUNPCKHBH, 8, 2, 2, 0)     \
+  X(PUNPCKLHW, 16, 2, 2, 0)    \
+  X(PUNPCKHHW, 16, 2, 2, 0)    \
+  X(PUNPCKLWD, 32, 2, 2, 0)    \
+  X(PUNPCKHWD, 32, 2, 2, 0)    \
+  X(PSLLH, 16, 2, 1, 1)        \
+  X(PSRLH, 16, 2, 1, 1)        \
+  X(PSRAH, 16, 2, 1, 1)        \
+  X(PSLLW, 32, 2, 1, 1)        \
+  X(PSRLW, 32, 2, 1, 1)        \
+  X(PSRAW, 32, 2, 1, 1)        \
+  X(PSLLD, 64, 2, 1, 1)        \
+  X(PSRLD, 64, 2, 1, 1)        \
+  X(PAND, 64, 2, 2, 0)         \
+  X(POR, 64, 2, 2, 0)          \
+  X(PXOR, 64, 2, 2, 0)         \
+  X(PANDN, 64, 2, 2, 0)        \
+  X(PCMPEQB, 8, 2, 2, 0)       \
+  X(PCMPEQH, 16, 2, 2, 0)      \
+  X(PCMPGTB, 8, 2, 2, 0)       \
+  X(PCMPGTH, 16, 2, 2, 0)      \
+  X(PSHUFH, 16, 2, 1, 1)
+
+enum class Opcode : u16 {
+  // ---- scalar core -------------------------------------------------------
+  MOVI,  // dst = imm
+  MOV,   // dst = src
+  ADD, SUB, MUL, DIV, SLL, SRL, SRA, AND, OR, XOR,
+  ADDI, SLLI, SRLI, SRAI, ANDI, ORI, XORI,
+  SLT, SLTU, SEQ, MIN, MAX, ABS,
+  LDB, LDBU, LDH, LDHU, LDW, LDD,  // dst = mem[src + imm]
+  STB, STH, STW, STD,              // mem[src1 + imm] = src0
+  BEQ, BNE, BLT, BGE, BLTU, BGEU,  // if (src0 op src1) goto target_block
+  JMP,                             // goto target_block
+  HALT,
+
+  // ---- µSIMD packed ops (operate on SIMD registers) ----------------------
+#define VUV_M(name, ew, lat, nsrc, imm) M_##name,
+  VUV_PACKED_OPS(VUV_M)
+#undef VUV_M
+
+  // µSIMD support ops
+  LDQS,    // SIMD dst = mem64[src + imm]   (through L1)
+  STQS,    // mem64[src1 + imm] = SIMD src0
+  MOVIS,   // SIMD dst = 64-bit literal
+  MOVI2S,  // SIMD dst = int src
+  MOVS2I,  // int dst = SIMD src
+  PEXTRH,  // int dst = lane imm of SIMD src
+  PINSRH,  // SIMD dst = SIMD src0 with lane imm replaced by int src1
+
+  // ---- Vector-µSIMD packed ops (VL sub-operations on vector registers) ---
+#define VUV_V(name, ew, lat, nsrc, imm) V_##name,
+  VUV_PACKED_OPS(VUV_V)
+#undef VUV_V
+
+  // Vector support ops
+  VLD,      // VREG dst = VL 64-bit words at src + imm, element stride VS
+  VST,      // store VREG src0 likewise at src1 + imm
+  VSADACC,  // ACC dst (also src2) += lanewise |a-b| over bytes of VL words
+  VMACH,    // ACC dst (also src2) += lanewise a*b over halfwords, 48-bit acc
+  CLRACC,   // ACC dst = 0
+  SUMACB,   // int dst = sum of the 8 byte-lane accumulators of ACC src
+  SUMACH,   // int dst = sum of the 4 halfword-lane accumulators of ACC src
+  SETVLI,   // VL = imm
+  SETVL,    // VL = int src
+  SETVSI,   // VS = imm (byte stride between vector elements)
+  SETVS,    // VS = int src
+
+  kCount,
+};
+
+/// Functional-unit class an operation executes on (paper Table 2 resources).
+enum class FuClass : u8 {
+  kNone,    // pseudo ops
+  kInt,     // integer ALU
+  kMem,     // L1 data cache port
+  kBranch,  // branch unit
+  kSimd,    // µSIMD unit
+  kVec,     // vector unit (LN parallel lanes)
+  kVecMem,  // wide L2 vector-cache port
+};
+
+struct OpFlags {
+  bool mem_load : 1 = false;
+  bool mem_store : 1 = false;
+  bool branch : 1 = false;       // conditional branch
+  bool jump : 1 = false;         // unconditional jump
+  bool halt : 1 = false;
+  bool vector : 1 = false;       // executes VL sub-operations
+  bool reads_vl : 1 = false;
+  bool reads_vs : 1 = false;
+  bool has_imm : 1 = false;
+  bool writes_special : 1 = false;  // SETVL*/SETVS*
+};
+
+struct OpInfo {
+  const char* name;
+  FuClass fu;
+  i8 latency;  // flow latency of one (sub-)operation, L in Fig. 3
+  i8 ewidth;   // packed element width in bits; 0 for non-packed ops
+  RegClass dst;
+  std::array<RegClass, 3> src;
+  u8 nsrc;
+  OpFlags flags;
+};
+
+/// Static properties of an opcode. O(1) table lookup.
+const OpInfo& op_info(Opcode op);
+
+inline const char* op_name(Opcode op) { return op_info(op).name; }
+
+/// For a vector packed op (V_*), the µSIMD base opcode (M_*) implementing
+/// one sub-operation. Precondition: op is in the V_* packed range.
+Opcode vector_base_op(Opcode op);
+
+/// True for V_* packed ops plus VLD/VST/VSADACC/VMACH (ops whose execution
+/// is governed by the VL register).
+inline bool is_vector_op(Opcode op) { return op_info(op).flags.vector; }
+
+/// Number of µ-operations one *word* of this op performs (sub-word lanes).
+/// Paper §3.1: a 64-bit word packs eight 8-bit, four 16-bit or two 32-bit
+/// items. Ops declared with ewidth 64 (whole-word logical/shift) count 1.
+inline int lanes_of(Opcode op) {
+  const int ew = op_info(op).ewidth;
+  return ew == 0 ? 1 : 64 / ew;
+}
+
+}  // namespace vuv

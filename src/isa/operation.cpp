@@ -1,0 +1,24 @@
+#include "isa/operation.hpp"
+
+#include <sstream>
+
+namespace vuv {
+
+std::string to_string(const Operation& o) {
+  const OpInfo& info = o.info();
+  std::ostringstream os;
+  os << info.name;
+  bool first = true;
+  auto sep = [&]() -> std::ostream& {
+    os << (first ? " " : ", ");
+    first = false;
+    return os;
+  };
+  if (info.dst != RegClass::kNone) sep() << to_string(o.dst);
+  for (u8 i = 0; i < info.nsrc; ++i) sep() << to_string(o.src[i]);
+  if (info.flags.has_imm) sep() << o.imm;
+  if (info.flags.branch || info.flags.jump) sep() << "B" << o.target_block;
+  return os.str();
+}
+
+}  // namespace vuv

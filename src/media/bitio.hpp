@@ -1,0 +1,111 @@
+// MSB-first bit stream writer/reader — golden counterpart of the bit I/O
+// loops the applications implement in IR (src/apps/bitio_emit).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace vuv {
+
+class BitWriter {
+ public:
+  /// Append the low `n` bits of `v` (0 <= n <= 24), MSB first.
+  void put(u32 v, int n) {
+    VUV_CHECK(n >= 0 && n <= 24, "bad bit count");
+    acc_ = (acc_ << n) | (v & ((u32{1} << n) - 1));
+    bits_ += n;
+    while (bits_ >= 8) {
+      bits_ -= 8;
+      out_.push_back(static_cast<u8>((acc_ >> bits_) & 0xff));
+    }
+  }
+
+  /// Pad with zero bits to a byte boundary and return the stream.
+  std::vector<u8> finish() {
+    if (bits_ > 0) put(0, 8 - bits_);
+    return out_;
+  }
+
+  size_t bit_count() const { return out_.size() * 8 + static_cast<size_t>(bits_); }
+
+ private:
+  std::vector<u8> out_;
+  u32 acc_ = 0;
+  int bits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::vector<u8> data) : data_(std::move(data)) {}
+
+  u32 get(int n) {
+    u32 v = 0;
+    for (int i = 0; i < n; ++i) v = (v << 1) | bit();
+    return v;
+  }
+
+  u32 bit() {
+    const size_t byte = pos_ >> 3;
+    if (byte >= data_.size()) throw SimError("bit stream underrun");
+    const u32 b = (data_[byte] >> (7 - (pos_ & 7))) & 1;
+    ++pos_;
+    return b;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::vector<u8> data_;
+  size_t pos_ = 0;
+};
+
+/// Number of bits needed to represent |v| (JPEG "size" category); 0 for 0.
+inline int bit_size(i32 v) {
+  u32 a = static_cast<u32>(v < 0 ? -v : v);
+  int n = 0;
+  while (a) {
+    ++n;
+    a >>= 1;
+  }
+  return n;
+}
+
+/// Exp-Golomb (gamma) code length for value >= 1: 2*floor(log2 v) + 1.
+inline int gamma_len(u32 v) { return 2 * (bit_size(static_cast<i32>(v)) - 1) + 1; }
+
+/// Write gamma code of v >= 1.
+inline void put_gamma(BitWriter& bw, u32 v) {
+  const int nb = bit_size(static_cast<i32>(v));
+  bw.put(0, nb - 1);
+  bw.put(v, nb);
+}
+
+/// Read a gamma code.
+inline u32 get_gamma(BitReader& br) {
+  int zeros = 0;
+  while (br.bit() == 0) {
+    ++zeros;
+    if (zeros > 24) throw SimError("bad gamma code");
+  }
+  u32 v = 1;
+  for (int i = 0; i < zeros; ++i) v = (v << 1) | br.bit();
+  return v;
+}
+
+/// JPEG-style magnitude bits: value -> (bits, size). For v<0 the bits are
+/// v + 2^size - 1.
+inline u32 magnitude_bits(i32 v, int size) {
+  return static_cast<u32>(v < 0 ? v + (1 << size) - 1 : v) &
+         ((u32{1} << size) - 1);
+}
+
+inline i32 magnitude_decode(u32 bits, int size) {
+  if (size == 0) return 0;
+  const i32 half = 1 << (size - 1);
+  const i32 v = static_cast<i32>(bits);
+  return v >= half ? v : v - (1 << size) + 1;
+}
+
+}  // namespace vuv

@@ -1,0 +1,73 @@
+// The 8-point transform used by the JPEG-like and MPEG2-like codecs.
+//
+// A BinDCT-style lifting factorization of the Chen DCT-II flowgraph: only
+// butterflies, halving butterflies, fixed-point lifting steps and negations.
+// The transform is defined as a *step table* interpreted by
+//   - the golden C++ implementation below (the specification),
+//   - the scalar / µSIMD / Vector-µSIMD program emitters in src/apps,
+// so all four implementations are bit-exact by construction. All arithmetic
+// wraps at 16 bits, matching the µSIMD PADDH/PSUBH/PMULHH semantics.
+//
+// Lifting constants are Q16-scaled so that a lifting step is exactly one
+// PMULHH (t = (x*M)>>16) plus one PADDH, as on the modelled hardware.
+//
+// The inverse table reverses the forward steps (butterfly <-> halving
+// butterfly, M <-> -M), so enc/dec round-trips are near-exact; the halving
+// butterflies lose at most one LSB per stage (documented in DESIGN.md).
+#pragma once
+
+#include <array>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace vuv {
+
+enum class DctStepKind : u8 {
+  kButterfly,      // (a, b) <- (a + b, a - b)
+  kHalfButterfly,  // (a, b) <- ((a + b) >> 1, (a - b) >> 1)
+  kLift,           // a <- a + ((b * m) >> 16)
+  kLiftSub,        // a <- a - ((b * m) >> 16)
+  kLift15,         // a <- a + ((b * m) >> 15)   (constants > 0.5)
+  kLift15Sub,      // a <- a - ((b * m) >> 15)
+  kNeg,            // a <- -a
+};
+
+struct DctStep {
+  DctStepKind kind;
+  i8 a;   // destination slot (0..7)
+  i8 b;   // source slot (unused for kNeg)
+  i16 m;  // Q16 lifting constant (kLift only)
+};
+
+/// Forward and inverse step tables plus the output slot permutation:
+/// after running the forward steps, coefficient u is found in slot
+/// `perm[u]`; the inverse consumes that layout.
+struct DctTable {
+  std::array<DctStep, 40> steps;
+  i32 nsteps;
+  std::array<i8, 8> perm;
+};
+
+const DctTable& fdct_table();
+const DctTable& idct_table();
+
+/// Golden 1-D transforms on 8 lanes (in place), wrap-16 semantics.
+void fdct8(i16* x);
+void idct8(i16* x);
+
+/// Golden 2-D transforms on a row-major 8x8 block (in place):
+/// rows first, then columns; coefficient (v,u) ends at [perm[v]*8 + perm[u]].
+void fdct8x8(i16* block);
+void idct8x8(i16* block);
+
+/// Map from zigzag index (0..63) to the row-major position inside a
+/// transformed block (accounting for the slot permutation), so entropy
+/// coding walks coefficients in roughly increasing frequency.
+const std::array<i8, 64>& dct_zigzag();
+
+/// The (v,u) frequency pair visited at each zigzag index — used by the
+/// applications to build layout-specific coefficient-offset tables.
+const std::array<std::pair<i8, i8>, 64>& dct_zigzag_vu();
+
+}  // namespace vuv

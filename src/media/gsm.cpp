@@ -1,0 +1,244 @@
+#include "media/gsm.hpp"
+
+#include "common/error.hpp"
+#include "media/bitio.hpp"
+
+namespace vuv {
+
+namespace {
+const std::array<i16, 4> kQlb = {3277, 11469, 21299, 32767};
+const std::array<i16, 3> kDlb = {6554, 16384, 26214};
+constexpr i32 kPreemph = 28180;  // 0.86 in Q15
+
+i32 clamp_i32(i32 v, i32 lo, i32 hi) { return v < lo ? lo : (v > hi ? hi : v); }
+
+/// The short-term residual and the reconstructed-residual history are
+/// clamped to +/-14000 so that the µSIMD cross-correlations (PMADDH pair
+/// sums accumulated in 32-bit lanes, split into two 5-word halves) can
+/// never overflow: 2*14000^2*5 < 2^31.
+i16 sat_d(i64 v) { return static_cast<i16>(clamp_i32(static_cast<i32>(sat16(v)), -14000, 14000)); }
+}  // namespace
+
+const std::array<i16, 4>& gsm_qlb() { return kQlb; }
+const std::array<i16, 3>& gsm_dlb() { return kDlb; }
+
+void gsm_preemphasis(const i16* in, i16* out, i32 n, i32* prev) {
+  // The >>4 scaling bounds |s| below 4096 so that (a) the lattice filters
+  // stay well inside 16 bits and (b) the µSIMD autocorrelation can
+  // accumulate 38 PMADDH pair-sums per 32-bit lane without overflow.
+  for (i32 i = 0; i < n; ++i) {
+    const i32 v = (static_cast<i32>(in[i]) - mult_q15(kPreemph, *prev)) >> 4;
+    out[i] = static_cast<i16>(v);
+    *prev = in[i];
+  }
+}
+
+void gsm_autocorrelation(const i16* s, i64* acf) {
+  // Summation starts at n = kGsmOrder for every k so the vectorized loop has
+  // a lag-independent span of 152 samples (38 words).
+  for (i32 k = 0; k <= kGsmOrder; ++k) {
+    i64 sum = 0;
+    for (i32 n = kGsmOrder; n < kGsmFrame; ++n)
+      sum += static_cast<i64>(s[n]) * s[n - k];
+    acf[k] = sum;
+  }
+}
+
+void gsm_reflection(const i64* acf, i16* refl) {
+  for (i32 k = 1; k <= kGsmOrder; ++k) {
+    const i64 num = acf[k] << 15;
+    const i64 den = acf[0] + 1;
+    i64 r = num / den;
+    if (r > 29491) r = 29491;
+    if (r < -29491) r = -29491;
+    refl[k - 1] = static_cast<i16>(r);
+  }
+}
+
+void gsm_analysis_filter(const i16* refl, const i16* s, i16* d, i32 n) {
+  i16 u[kGsmOrder] = {};
+  for (i32 i = 0; i < n; ++i) {
+    i32 di = s[i];
+    i32 sav = di;
+    for (i32 k = 0; k < kGsmOrder; ++k) {
+      const i32 ui = u[k];
+      const i32 rp = refl[k];
+      const i32 temp = sat16(ui + mult_q15(rp, di));
+      di = sat16(di + mult_q15(rp, ui));
+      u[k] = sat16(sav);
+      sav = temp;
+    }
+    d[i] = sat_d(di);
+  }
+}
+
+void gsm_synthesis_filter(const i16* refl, const i16* d, i16* s, i32 n,
+                          i16* v) {
+  for (i32 i = 0; i < n; ++i) {
+    i32 sri = d[i];
+    for (i32 k = kGsmOrder - 1; k >= 0; --k) {
+      sri = sat16(sri - mult_q15(refl[k], v[k]));
+      v[k + 1] = sat16(v[k] + mult_q15(refl[k], sri));
+    }
+    v[0] = sat16(sri);
+    s[i] = static_cast<i16>(sri);
+  }
+}
+
+std::vector<u8> gsm_encode(const std::vector<i16>& pcm) {
+  VUV_CHECK(pcm.size() % kGsmFrame == 0, "gsm: input must be whole frames");
+  const i32 nframes = static_cast<i32>(pcm.size()) / kGsmFrame;
+  GsmEncState st;
+  BitWriter bw;
+
+  std::array<i16, 280> dp{};  // 120 history + 160 current
+
+  for (i32 f = 0; f < nframes; ++f) {
+    const i16* in = pcm.data() + static_cast<size_t>(f) * kGsmFrame;
+    i16 s[kGsmFrame], d[kGsmFrame];
+    gsm_preemphasis(in, s, kGsmFrame, &st.preemph_prev);
+
+    i64 acf[kGsmOrder + 1];
+    gsm_autocorrelation(s, acf);  // region R2 (vector)
+
+    i16 refl[kGsmOrder];
+    gsm_reflection(acf, refl);
+    i16 reflq[kGsmOrder];
+    for (i32 k = 0; k < kGsmOrder; ++k) {
+      const i32 idx = clamp_i32((refl[k] + 32768) >> 10, 0, 63);
+      bw.put(static_cast<u32>(idx), 6);
+      reflq[k] = static_cast<i16>((idx << 10) - 32768 + 512);
+    }
+
+    gsm_analysis_filter(reflq, s, d, kGsmFrame);
+
+    for (size_t i = 0; i < 120; ++i) dp[i] = st.dp_hist[i];
+
+    for (i32 j = 0; j < 4; ++j) {
+      const i16* dj = d + j * kGsmSub;
+      const i32 base = 120 + j * kGsmSub;
+
+      // ---- LTP parameters (region R1, vector) --------------------------
+      i64 best_cross = 0;
+      i32 best_lag = kGsmMinLag;
+      bool found = false;
+      for (i32 lag = kGsmMinLag; lag <= kGsmMaxLag; ++lag) {
+        i64 cross = 0;
+        for (i32 i = 0; i < kGsmSub; ++i)
+          cross += static_cast<i64>(dj[i]) * dp[static_cast<size_t>(base + i - lag)];
+        if (!found || cross > best_cross) {
+          best_cross = cross;
+          best_lag = lag;
+          found = true;
+        }
+      }
+      i64 power = 0;
+      for (i32 i = 0; i < kGsmSub; ++i) {
+        const i64 v = dp[static_cast<size_t>(base + i - best_lag)];
+        power += v * v;
+      }
+      i64 gain_q15 = (best_cross << 15) / (power + 1);
+      i32 gain_idx = 0;
+      for (i32 t = 0; t < 3; ++t)
+        if (gain_q15 >= kDlb[static_cast<size_t>(t)]) gain_idx = t + 1;
+      const i16 b = kQlb[static_cast<size_t>(gain_idx)];
+
+      i16 e[kGsmSub];
+      for (i32 i = 0; i < kGsmSub; ++i)
+        e[i] = sat16(dj[i] -
+                     mult_q15(b, dp[static_cast<size_t>(base + i - best_lag)]));
+
+      // ---- RPE grid selection + APCM (scalar) ----------------------------
+      i64 best_energy = -1;
+      i32 grid = 0;
+      for (i32 m = 0; m < 4; ++m) {
+        i64 energy = 0;
+        for (i32 k = 0; k < 13; ++k) {
+          const i64 v = e[m + 3 * k];
+          energy += v * v;
+        }
+        if (energy > best_energy) {
+          best_energy = energy;
+          grid = m;
+        }
+      }
+      i32 xmax = 0;
+      for (i32 k = 0; k < 13; ++k) {
+        const i32 a = e[grid + 3 * k] < 0 ? -e[grid + 3 * k] : e[grid + 3 * k];
+        if (a > xmax) xmax = a;
+      }
+      const i32 shift = std::max(0, bit_size(xmax) - 3);
+
+      bw.put(static_cast<u32>(best_lag - kGsmMinLag), 5);
+      bw.put(static_cast<u32>(gain_idx), 2);
+      bw.put(static_cast<u32>(grid), 2);
+      bw.put(static_cast<u32>(shift), 4);
+
+      i16 ep[kGsmSub] = {};
+      for (i32 k = 0; k < 13; ++k) {
+        const i32 q = clamp_i32((e[grid + 3 * k] >> shift) + 4, 0, 7);
+        bw.put(static_cast<u32>(q), 3);
+        ep[grid + 3 * k] = static_cast<i16>((q - 4) << shift);
+      }
+
+      // Local decode: update the reconstructed residual history.
+      for (i32 i = 0; i < kGsmSub; ++i)
+        dp[static_cast<size_t>(base + i)] = sat_d(
+            ep[i] + mult_q15(b, dp[static_cast<size_t>(base + i - best_lag)]));
+    }
+
+    for (size_t i = 0; i < 120; ++i) dp[i] = dp[160 + i];
+    for (size_t i = 0; i < 120; ++i) st.dp_hist[i] = dp[i];
+  }
+  return bw.finish();
+}
+
+std::vector<i16> gsm_decode(const std::vector<u8>& stream, i32 nframes) {
+  BitReader br(stream);
+  GsmDecState st;
+  std::vector<i16> out;
+  std::array<i16, 280> dp{};
+
+  for (i32 f = 0; f < nframes; ++f) {
+    i16 reflq[kGsmOrder];
+    for (i32 k = 0; k < kGsmOrder; ++k) {
+      const i32 idx = static_cast<i32>(br.get(6));
+      reflq[k] = static_cast<i16>((idx << 10) - 32768 + 512);
+    }
+    for (size_t i = 0; i < 120; ++i) dp[i] = st.dp_hist[i];
+
+    i16 d[kGsmFrame];
+    for (i32 j = 0; j < 4; ++j) {
+      const i32 base = 120 + j * kGsmSub;
+      const i32 lag = kGsmMinLag + static_cast<i32>(br.get(5));
+      const i16 b = kQlb[br.get(2)];
+      const i32 grid = static_cast<i32>(br.get(2));
+      const i32 shift = static_cast<i32>(br.get(4));
+      i16 ep[kGsmSub] = {};
+      for (i32 k = 0; k < 13; ++k) {
+        const i32 q = static_cast<i32>(br.get(3));
+        ep[grid + 3 * k] = static_cast<i16>((q - 4) << shift);
+      }
+      // ---- Long-term filtering (region R1, vector) -----------------------
+      for (i32 i = 0; i < kGsmSub; ++i) {
+        const i16 v = sat_d(
+            ep[i] + mult_q15(b, dp[static_cast<size_t>(base + i - lag)]));
+        dp[static_cast<size_t>(base + i)] = v;
+        d[j * kGsmSub + i] = v;
+      }
+    }
+    for (size_t i = 0; i < 120; ++i) dp[i] = dp[160 + i];
+    for (size_t i = 0; i < 120; ++i) st.dp_hist[i] = dp[i];
+
+    i16 s[kGsmFrame];
+    gsm_synthesis_filter(reflq, d, s, kGsmFrame, st.synth_v.data());
+    for (i32 n = 0; n < kGsmFrame; ++n) {
+      const i16 v = sat16(s[n] + mult_q15(kPreemph, st.deemph_prev));
+      st.deemph_prev = v;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace vuv

@@ -1,0 +1,67 @@
+// Golden GSM 06.10-like full-rate speech codec — specification for the
+// gsm_enc / gsm_dec applications. Regions per paper Table 1:
+//   encoder: LTP parameters (long-term predictor lag/gain search) |
+//            autocorrelation (LPC analysis)
+//   decoder: long-term filtering
+// The short-term lattice filters (first-order recurrences), reflection
+// coefficient computation, RPE grid selection/APCM and bit packing are
+// scalar regions. Simplifications versus the ETSI spec (lag range 40..60,
+// ratio-derived reflection coefficients, simplified APCM) are documented in
+// DESIGN.md; the kernel structure and arithmetic style are preserved.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vuv {
+
+inline constexpr i32 kGsmFrame = 160;
+inline constexpr i32 kGsmSub = 40;
+inline constexpr i32 kGsmMinLag = 40;
+inline constexpr i32 kGsmMaxLag = 60;
+inline constexpr i32 kGsmOrder = 8;
+/// Bytes per encoded frame: 8x6 LAR + 4 x (5+2+2+4+39) bits = 256 bits.
+inline constexpr i32 kGsmFrameBytes = 32;
+
+/// LTP gain quantizer (Q15), indexed by the coded 2-bit gain.
+const std::array<i16, 4>& gsm_qlb();
+/// Gain decision thresholds (Q15), GSM DLB-style.
+const std::array<i16, 3>& gsm_dlb();
+
+inline i16 sat16(i64 v) {
+  return static_cast<i16>(v > 32767 ? 32767 : (v < -32768 ? -32768 : v));
+}
+/// Q15 multiply with truncation toward -inf: exactly the PMULHH/PMULLH
+/// sequence the µSIMD/vector code uses.
+inline i32 mult_q15(i32 a, i32 b) {
+  return static_cast<i32>((static_cast<i64>(a) * b) >> 15);
+}
+
+struct GsmEncState {
+  i32 preemph_prev = 0;
+  std::array<i16, 120> dp_hist{};  // reconstructed short-term residual tail
+};
+
+struct GsmDecState {
+  i32 deemph_prev = 0;
+  std::array<i16, 120> dp_hist{};
+  std::array<i16, kGsmOrder + 1> synth_v{};
+};
+
+/// Encode whole 160-sample frames; pcm.size() must be a multiple of 160.
+std::vector<u8> gsm_encode(const std::vector<i16>& pcm);
+
+/// Decode to synthesized samples (one i16 per input sample).
+std::vector<i16> gsm_decode(const std::vector<u8>& stream, i32 nframes);
+
+// Exposed pieces for unit tests and for staging the IR applications.
+void gsm_preemphasis(const i16* in, i16* out, i32 n, i32* prev);
+void gsm_autocorrelation(const i16* s, i64* acf);  // acf[0..8]
+void gsm_reflection(const i64* acf, i16* refl);    // refl[1..8] in [1..8]
+void gsm_analysis_filter(const i16* refl, const i16* s, i16* d, i32 n);
+void gsm_synthesis_filter(const i16* refl, const i16* d, i16* s, i32 n,
+                          i16* state_v);
+
+}  // namespace vuv

@@ -1,0 +1,77 @@
+// Golden JPEG-like codec (specification for the jpeg_enc / jpeg_dec
+// applications). Structure follows IJG cjpeg/djpeg as profiled in the paper
+// (Table 1):
+//   encoder: RGB->YCC color conversion | h2v2 subsample | per-block
+//            level-shift + forward DCT | quantization | zigzag + entropy
+//   decoder: entropy decode | dequant + IDCT (scalar per Table 1!) |
+//            h2v2 fancy (triangular) upsample | YCC->RGB
+// Entropy coding uses exp-Golomb codes over JPEG-style (run,size) symbols
+// plus magnitude bits — same scalar character (bit I/O, table lookups) as
+// Huffman coding. All arithmetic is defined in 16-bit wrap semantics so the
+// µSIMD/vector IR implementations are bit-exact.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "media/workload.hpp"
+
+namespace vuv {
+
+/// Quantizer steps indexed by *stored block position* (after the DCT slot
+/// permutation). Values chosen >= 4 so reciprocals fit the PMULHH trick.
+const std::array<i16, 64>& jpeg_qstep_luma();
+const std::array<i16, 64>& jpeg_qstep_chroma();
+/// recip2[pos] = 2 * floor(32768 / qstep[pos]); quantization is
+/// q = (c * recip2) >> 16, exactly one PMULHH.
+const std::array<i16, 64>& jpeg_qrecip2_luma();
+const std::array<i16, 64>& jpeg_qrecip2_chroma();
+
+// ---- color conversion (16-bit wrap semantics; see DESIGN.md) -------------
+inline u8 ycc_y(int r, int g, int b) {
+  return static_cast<u8>(static_cast<u16>(77 * r + 150 * g + 29 * b) >> 8);
+}
+inline u8 ycc_cb(int r, int g, int b) {
+  const i16 t = static_cast<i16>(-43 * r - 85 * g + 128 * b);
+  return static_cast<u8>((t >> 8) + 128);
+}
+inline u8 ycc_cr(int r, int g, int b) {
+  const i16 t = static_cast<i16>(128 * r - 107 * g - 21 * b);
+  return static_cast<u8>((t >> 8) + 128);
+}
+inline u8 clamp255(i32 v) { return static_cast<u8>(v < 0 ? 0 : (v > 255 ? 255 : v)); }
+inline u8 rgb_r(int y, int cr) {
+  const i16 d = static_cast<i16>(cr - 128);
+  return clamp255(y + d + ((103 * d) >> 8));
+}
+inline u8 rgb_g(int y, int cb, int cr) {
+  const i16 db = static_cast<i16>(cb - 128), dr = static_cast<i16>(cr - 128);
+  return clamp255(y - ((88 * db) >> 8) - ((183 * dr) >> 8));
+}
+inline u8 rgb_b(int y, int cb) {
+  const i16 d = static_cast<i16>(cb - 128);
+  return clamp255(y + d + ((198 * d) >> 8));
+}
+
+struct JpegPlanes {
+  i32 w = 0, h = 0;        // luma size
+  std::vector<u8> y;       // w x h
+  std::vector<u8> cb, cr;  // (w/2) x (h/2)
+};
+
+/// Forward color conversion + h2v2 subsampling (averaging).
+JpegPlanes jpeg_forward_color(const RgbImage& img);
+
+/// Triangular (9-3-3-1) h2v2 upsample of one chroma plane (cw x ch) to
+/// (2cw x 2ch); border pixels replicate.
+std::vector<u8> jpeg_upsample_h2v2(const std::vector<u8>& c, i32 cw, i32 ch);
+
+/// Full encoder / decoder.
+std::vector<u8> jpeg_encode(const RgbImage& img);
+RgbImage jpeg_decode(const std::vector<u8>& stream);
+
+/// Decode only to planes (the decoder's state before upsample/color), used
+/// by unit tests.
+JpegPlanes jpeg_decode_planes(const std::vector<u8>& stream);
+
+}  // namespace vuv

@@ -1,0 +1,273 @@
+#include "media/mpeg2.hpp"
+
+#include "common/error.hpp"
+#include "media/bitio.hpp"
+#include "media/dct.hpp"
+#include "media/jpeg.hpp"
+
+namespace vuv {
+
+namespace {
+
+inline u8 avg(u8 a, u8 b) { return static_cast<u8>((a + b + 1) >> 1); }
+
+inline u32 fold_mv(i32 v) { return static_cast<u32>(v <= 0 ? -2 * v : 2 * v - 1); }
+inline i32 unfold_mv(u32 f) {
+  return (f & 1) ? static_cast<i32>((f + 1) / 2) : -static_cast<i32>(f / 2);
+}
+
+void encode_block(BitWriter& bw, const i16* blk, i16& dc_pred) {
+  const auto& zz = dct_zigzag();
+  const i16 dc = blk[zz[0]];
+  const i32 diff = dc - dc_pred;
+  dc_pred = dc;
+  const int dsize = bit_size(diff);
+  put_gamma(bw, static_cast<u32>(dsize + 1));
+  bw.put(magnitude_bits(diff, dsize), dsize);
+  int run = 0;
+  for (int k = 1; k < 64; ++k) {
+    const i16 c = blk[zz[static_cast<size_t>(k)]];
+    if (c == 0) {
+      ++run;
+      continue;
+    }
+    const int size = bit_size(c);
+    put_gamma(bw, static_cast<u32>(run * 16 + size + 2));
+    bw.put(magnitude_bits(c, size), size);
+    run = 0;
+  }
+  put_gamma(bw, 1);
+}
+
+void decode_block(BitReader& br, i16* blk, i16& dc_pred) {
+  const auto& zz = dct_zigzag();
+  for (int i = 0; i < 64; ++i) blk[i] = 0;
+  const int dsize = static_cast<int>(get_gamma(br)) - 1;
+  dc_pred = static_cast<i16>(dc_pred + magnitude_decode(br.get(dsize), dsize));
+  blk[zz[0]] = dc_pred;
+  int k = 1;
+  while (true) {
+    const u32 g = get_gamma(br);
+    if (g == 1) break;
+    const u32 s = g - 2;
+    k += static_cast<int>(s >> 4);
+    const int size = static_cast<int>(s & 15);
+    if (k > 63) throw SimError("mpeg2: coefficient index overflow");
+    blk[zz[static_cast<size_t>(k)]] =
+        static_cast<i16>(magnitude_decode(br.get(size), size));
+    ++k;
+  }
+}
+
+void quantize(i16* blk) {
+  const auto& r = mpeg2_qrecip2();
+  for (int i = 0; i < 64; ++i)
+    blk[i] = static_cast<i16>((static_cast<i32>(blk[i]) * r[static_cast<size_t>(i)]) >> 16);
+}
+
+void dequantize(i16* blk) {
+  const auto& q = mpeg2_qstep();
+  for (int i = 0; i < 64; ++i)
+    blk[i] = static_cast<i16>(blk[i] * q[static_cast<size_t>(i)]);
+}
+
+}  // namespace
+
+const std::array<i16, 64>& mpeg2_qstep() { return jpeg_qstep_luma(); }
+const std::array<i16, 64>& mpeg2_qrecip2() { return jpeg_qrecip2_luma(); }
+
+std::array<u8, 256> form_prediction(const std::vector<u8>& ref, i32 w, i32 fx,
+                                    i32 fy) {
+  const i32 ix = fx >> 1, iy = fy >> 1;
+  const bool hx = fx & 1, hy = fy & 1;
+  std::array<u8, 256> out{};
+  auto at = [&](i32 r, i32 c) {
+    return ref[static_cast<size_t>(iy + r) * static_cast<size_t>(w) +
+               static_cast<size_t>(ix + c)];
+  };
+  for (i32 r = 0; r < 16; ++r)
+    for (i32 c = 0; c < 16; ++c) {
+      u8 v;
+      if (!hx && !hy) v = at(r, c);
+      else if (hx && !hy) v = avg(at(r, c), at(r, c + 1));
+      else if (!hx && hy) v = avg(at(r, c), at(r + 1, c));
+      else v = avg(avg(at(r, c), at(r, c + 1)), avg(at(r + 1, c), at(r + 1, c + 1)));
+      out[static_cast<size_t>(r * 16 + c)] = v;
+    }
+  return out;
+}
+
+i64 sad16(const std::vector<u8>& cur, const std::vector<u8>& ref, i32 w,
+          i32 mx, i32 my, i32 fx, i32 fy) {
+  const std::array<u8, 256> pred = form_prediction(ref, w, fx, fy);
+  i64 sad = 0;
+  for (i32 r = 0; r < 16; ++r)
+    for (i32 c = 0; c < 16; ++c) {
+      const int a = cur[static_cast<size_t>(my + r) * static_cast<size_t>(w) +
+                        static_cast<size_t>(mx + c)];
+      const int b = pred[static_cast<size_t>(r * 16 + c)];
+      sad += a > b ? a - b : b - a;
+    }
+  return sad;
+}
+
+void motion_search(const std::vector<u8>& cur, const std::vector<u8>& ref,
+                   i32 w, i32 h, i32 mx, i32 my, i32 range, i32* out_fx,
+                   i32* out_fy) {
+  i64 best = -1;
+  i32 bx = 2 * mx, by = 2 * my;
+  // Integer full search, scan order dy-major (paper dist1 structure).
+  for (i32 dy = -range; dy <= range; ++dy) {
+    for (i32 dx = -range; dx <= range; ++dx) {
+      const i32 x = mx + dx, y = my + dy;
+      if (x < 0 || y < 0 || x + 16 > w || y + 16 > h) continue;
+      const i64 s = sad16(cur, ref, w, mx, my, 2 * x, 2 * y);
+      if (best < 0 || s < best) {
+        best = s;
+        bx = 2 * x;
+        by = 2 * y;
+      }
+    }
+  }
+  // Half-pel refinement around the integer optimum.
+  const i32 cx = bx, cy = by;
+  for (i32 hy = -1; hy <= 1; ++hy)
+    for (i32 hx = -1; hx <= 1; ++hx) {
+      if (hx == 0 && hy == 0) continue;
+      const i32 fx = cx + hx, fy = cy + hy;
+      if (fx < 0 || fy < 0) continue;
+      if ((fx >> 1) + 16 + (fx & 1) > w) continue;
+      if ((fy >> 1) + 16 + (fy & 1) > h) continue;
+      const i64 s = sad16(cur, ref, w, mx, my, fx, fy);
+      if (s < best) {
+        best = s;
+        bx = fx;
+        by = fy;
+      }
+    }
+  *out_fx = bx;
+  *out_fy = by;
+}
+
+namespace {
+
+struct EncOut {
+  std::vector<u8> stream;
+  std::vector<std::vector<u8>> recon;
+};
+
+EncOut encode_impl(const std::vector<std::vector<u8>>& frames, const Mpeg2Params& p) {
+  const i32 w = p.width, h = p.height;
+  VUV_CHECK(w % 16 == 0 && h % 16 == 0, "mpeg2: dimensions must be multiples of 16");
+  BitWriter bw;
+  bw.put(static_cast<u32>(w), 16);
+  bw.put(static_cast<u32>(h), 16);
+  bw.put(static_cast<u32>(frames.size()), 8);
+
+  EncOut out;
+  std::vector<u8> ref;
+  for (size_t f = 0; f < frames.size(); ++f) {
+    const std::vector<u8>& cur = frames[f];
+    std::vector<u8> rec(static_cast<size_t>(w) * static_cast<size_t>(h), 0);
+    const bool intra = f == 0;
+    i16 dc_pred = 0;
+    for (i32 my = 0; my < h; my += 16)
+      for (i32 mx = 0; mx < w; mx += 16) {
+        std::array<u8, 256> pred{};
+        if (!intra) {
+          i32 fx, fy;
+          motion_search(cur, ref, w, h, mx, my, p.search_range, &fx, &fy);
+          put_gamma(bw, fold_mv(fx - 2 * mx) + 1);
+          put_gamma(bw, fold_mv(fy - 2 * my) + 1);
+          pred = form_prediction(ref, w, fx, fy);
+        }
+        for (i32 b = 0; b < 4; ++b) {
+          const i32 bx = mx + (b & 1) * 8, by = my + (b >> 1) * 8;
+          i16 blk[64];
+          for (i32 r = 0; r < 8; ++r)
+            for (i32 c = 0; c < 8; ++c) {
+              const int cv = cur[static_cast<size_t>(by + r) * static_cast<size_t>(w) +
+                                 static_cast<size_t>(bx + c)];
+              const int pv = intra ? 128
+                                   : pred[static_cast<size_t>(
+                                         ((by - my) + r) * 16 + (bx - mx) + c)];
+              blk[r * 8 + c] = static_cast<i16>(cv - pv);
+            }
+          fdct8x8(blk);
+          quantize(blk);
+          encode_block(bw, blk, dc_pred);
+          // Reconstruction loop (inverse DCT region R3 of the encoder).
+          dequantize(blk);
+          idct8x8(blk);
+          for (i32 r = 0; r < 8; ++r)
+            for (i32 c = 0; c < 8; ++c) {
+              const int pv = intra ? 128
+                                   : pred[static_cast<size_t>(
+                                         ((by - my) + r) * 16 + (bx - mx) + c)];
+              rec[static_cast<size_t>(by + r) * static_cast<size_t>(w) +
+                  static_cast<size_t>(bx + c)] = clamp255(blk[r * 8 + c] + pv);
+            }
+        }
+      }
+    out.recon.push_back(rec);
+    ref = std::move(rec);
+  }
+  out.stream = bw.finish();
+  return out;
+}
+
+}  // namespace
+
+std::vector<u8> mpeg2_encode(const std::vector<std::vector<u8>>& frames,
+                             const Mpeg2Params& p) {
+  return encode_impl(frames, p).stream;
+}
+
+std::vector<std::vector<u8>> mpeg2_encode_recon(
+    const std::vector<std::vector<u8>>& frames, const Mpeg2Params& p) {
+  return encode_impl(frames, p).recon;
+}
+
+std::vector<std::vector<u8>> mpeg2_decode(const std::vector<u8>& stream) {
+  BitReader br(stream);
+  const i32 w = static_cast<i32>(br.get(16));
+  const i32 h = static_cast<i32>(br.get(16));
+  const i32 nframes = static_cast<i32>(br.get(8));
+  std::vector<std::vector<u8>> out;
+  std::vector<u8> ref;
+  for (i32 f = 0; f < nframes; ++f) {
+    std::vector<u8> rec(static_cast<size_t>(w) * static_cast<size_t>(h), 0);
+    const bool intra = f == 0;
+    i16 dc_pred = 0;
+    for (i32 my = 0; my < h; my += 16)
+      for (i32 mx = 0; mx < w; mx += 16) {
+        std::array<u8, 256> pred{};
+        if (!intra) {
+          const i32 fx = 2 * mx + unfold_mv(get_gamma(br) - 1);
+          const i32 fy = 2 * my + unfold_mv(get_gamma(br) - 1);
+          pred = form_prediction(ref, w, fx, fy);  // region R1
+        }
+        for (i32 b = 0; b < 4; ++b) {
+          const i32 bx = mx + (b & 1) * 8, by = my + (b >> 1) * 8;
+          i16 blk[64];
+          decode_block(br, blk, dc_pred);
+          dequantize(blk);
+          idct8x8(blk);  // region R2
+          // Add block (region R3).
+          for (i32 r = 0; r < 8; ++r)
+            for (i32 c = 0; c < 8; ++c) {
+              const int pv = intra ? 128
+                                   : pred[static_cast<size_t>(
+                                         ((by - my) + r) * 16 + (bx - mx) + c)];
+              rec[static_cast<size_t>(by + r) * static_cast<size_t>(w) +
+                  static_cast<size_t>(bx + c)] = clamp255(blk[r * 8 + c] + pv);
+            }
+        }
+      }
+    out.push_back(rec);
+    ref = out.back();
+  }
+  return out;
+}
+
+}  // namespace vuv

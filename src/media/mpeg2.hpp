@@ -1,0 +1,55 @@
+// Golden MPEG2-like video codec (luma-only, I + P frames) — specification
+// for the mpeg2_enc / mpeg2_dec applications. Regions per paper Table 1:
+//   encoder: motion estimation (full search + half-pel refinement) |
+//            forward DCT | inverse DCT (reconstruction loop)
+//   decoder: form component prediction (half-pel interpolation) |
+//            inverse DCT | add block
+// Quantization, VLC and control are scalar regions, as in the paper.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vuv {
+
+struct Mpeg2Params {
+  i32 width = 64;
+  i32 height = 48;
+  i32 search_range = 4;  // full-search radius in integer pels
+};
+
+/// Quantizer tables shared by intra and inter blocks (stored-position
+/// indexed, same PMULHH-reciprocal scheme as the JPEG-like codec).
+const std::array<i16, 64>& mpeg2_qstep();
+const std::array<i16, 64>& mpeg2_qrecip2();
+
+/// Sum of absolute differences between a 16x16 macroblock at (mx,my) in
+/// `cur` and the prediction at half-pel position (fx,fy) in `ref`.
+i64 sad16(const std::vector<u8>& cur, const std::vector<u8>& ref, i32 w,
+          i32 mx, i32 my, i32 fx, i32 fy);
+
+/// Half-pel prediction of a 16x16 block from `ref` at (fx,fy) (half-pel
+/// units, non-negative). Averaging uses (a+b+1)>>1 per tap, nested for the
+/// 2-D case — exactly the µSIMD PAVGB composition.
+std::array<u8, 256> form_prediction(const std::vector<u8>& ref, i32 w, i32 fx,
+                                    i32 fy);
+
+/// Full-search + half-pel refinement; returns best (fx,fy) in half-pel
+/// units, absolute within the frame.
+void motion_search(const std::vector<u8>& cur, const std::vector<u8>& ref,
+                   i32 w, i32 h, i32 mx, i32 my, i32 range, i32* fx, i32* fy);
+
+/// Encode: first frame intra, remaining frames P. Returns the bitstream.
+std::vector<u8> mpeg2_encode(const std::vector<std::vector<u8>>& frames,
+                             const Mpeg2Params& p);
+
+/// Encoder-side reconstructed frames (what a conforming decoder outputs).
+std::vector<std::vector<u8>> mpeg2_encode_recon(
+    const std::vector<std::vector<u8>>& frames, const Mpeg2Params& p);
+
+/// Decode a bitstream back to frames.
+std::vector<std::vector<u8>> mpeg2_decode(const std::vector<u8>& stream);
+
+}  // namespace vuv

@@ -1,0 +1,87 @@
+#include "media/workload.hpp"
+
+#include <cmath>
+
+namespace vuv {
+
+RgbImage make_test_image(i32 width, i32 height, u64 seed) {
+  RgbImage img;
+  img.width = width;
+  img.height = height;
+  const size_t n = static_cast<size_t>(width) * static_cast<size_t>(height);
+  img.r.resize(n);
+  img.g.resize(n);
+  img.b.resize(n);
+  Rng rng(seed);
+  for (i32 y = 0; y < height; ++y) {
+    for (i32 x = 0; x < width; ++x) {
+      const size_t i = static_cast<size_t>(y) * static_cast<size_t>(width) +
+                       static_cast<size_t>(x);
+      const double fx = static_cast<double>(x) / width;
+      const double fy = static_cast<double>(y) / height;
+      const double tex = 28.0 * std::sin(0.55 * x) * std::cos(0.41 * y);
+      const int noise = static_cast<int>(rng.below(9)) - 4;
+      auto px = [&](double base) {
+        const int v = static_cast<int>(base + tex + noise);
+        return static_cast<u8>(v < 0 ? 0 : (v > 255 ? 255 : v));
+      };
+      img.r[i] = px(40 + 170 * fx);
+      img.g[i] = px(60 + 150 * fy);
+      img.b[i] = px(200 - 120 * fx * fy);
+    }
+  }
+  return img;
+}
+
+std::vector<std::vector<u8>> make_test_video(i32 width, i32 height, i32 frames,
+                                             i32 dx, i32 dy, u64 seed) {
+  // A large static "world" plane; each frame is a shifted crop.
+  const i32 margin = 32;
+  const i32 ww = width + 2 * margin, wh = height + 2 * margin;
+  std::vector<u8> world(static_cast<size_t>(ww) * static_cast<size_t>(wh));
+  Rng rng(seed);
+  for (i32 y = 0; y < wh; ++y)
+    for (i32 x = 0; x < ww; ++x) {
+      const double v = 110 + 60 * std::sin(0.19 * x) * std::sin(0.23 * y) +
+                       40.0 * ((x / 13 + y / 11) % 2) +
+                       static_cast<int>(rng.below(13)) - 6;
+      world[static_cast<size_t>(y) * static_cast<size_t>(ww) +
+            static_cast<size_t>(x)] =
+          static_cast<u8>(v < 0 ? 0 : (v > 255 ? 255 : v));
+    }
+
+  std::vector<std::vector<u8>> out;
+  for (i32 f = 0; f < frames; ++f) {
+    std::vector<u8> frame(static_cast<size_t>(width) * static_cast<size_t>(height));
+    const i32 ox = margin + f * dx;
+    const i32 oy = margin + f * dy;
+    for (i32 y = 0; y < height; ++y)
+      for (i32 x = 0; x < width; ++x)
+        frame[static_cast<size_t>(y) * static_cast<size_t>(width) +
+              static_cast<size_t>(x)] =
+            world[static_cast<size_t>(y + oy) * static_cast<size_t>(ww) +
+                  static_cast<size_t>(x + ox)];
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+std::vector<i16> make_test_speech(i32 samples, u64 seed) {
+  std::vector<i16> out(static_cast<size_t>(samples));
+  Rng rng(seed);
+  const double pitch = 2.0 * 3.14159265358979 / 64.0;  // ~125 Hz at 8 kHz
+  for (i32 n = 0; n < samples; ++n) {
+    const double env = 0.55 + 0.45 * std::sin(n * 0.0021);
+    double v = 0;
+    for (int h = 1; h <= 4; ++h)
+      v += (4000.0 / h) * std::sin(h * pitch * n + 0.3 * h);
+    v *= env;
+    v += static_cast<int>(rng.below(301)) - 150;
+    if (v > 32000) v = 32000;
+    if (v < -32000) v = -32000;
+    out[static_cast<size_t>(n)] = static_cast<i16>(v);
+  }
+  return out;
+}
+
+}  // namespace vuv

@@ -1,0 +1,35 @@
+// Deterministic synthetic workload generators.
+//
+// The paper uses MediaBench inputs (photographs, video clips, speech). Those
+// are not redistributable here, so we synthesize inputs with the same
+// statistical character the kernels care about: smooth gradients plus
+// texture for images, translating content for video (so motion estimation
+// finds real motion), and pitched harmonic waveforms for speech.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vuv {
+
+struct RgbImage {
+  i32 width = 0;
+  i32 height = 0;
+  std::vector<u8> r, g, b;  // planar
+};
+
+/// Smooth color gradients + sinusoidal texture + mild noise.
+RgbImage make_test_image(i32 width, i32 height, u64 seed = 1);
+
+/// Grey frames with global translation (dx,dy) plus local texture, so
+/// full-search motion estimation has genuine work to do.
+std::vector<std::vector<u8>> make_test_video(i32 width, i32 height, i32 frames,
+                                             i32 dx, i32 dy, u64 seed = 2);
+
+/// Speech-like 16-bit samples: pitch pulses through a decaying harmonic
+/// series with an amplitude envelope and noise floor.
+std::vector<i16> make_test_speech(i32 samples, u64 seed = 3);
+
+}  // namespace vuv

@@ -1,0 +1,130 @@
+// Flat simulated memory (data storage) and the host-side Workspace used to
+// stage workload buffers. Timing is modelled separately in MemorySystem —
+// this file is purely functional state.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace vuv {
+
+class MainMemory {
+ public:
+  explicit MainMemory(size_t size = 16u * 1024 * 1024) : data_(size, 0) {}
+
+  size_t size() const { return data_.size(); }
+
+  /// Little-endian load of 1/2/4/8 bytes, optionally sign-extended.
+  u64 load(Addr addr, int bytes, bool sign_extend) const {
+    check(addr, bytes);
+    u64 v = 0;
+    for (int i = bytes - 1; i >= 0; --i) v = (v << 8) | data_[addr + i];
+    if (sign_extend && bytes < 8) {
+      const u64 sign = u64{1} << (bytes * 8 - 1);
+      if (v & sign) v |= ~u64{0} << (bytes * 8);
+    }
+    return v;
+  }
+
+  void store(Addr addr, int bytes, u64 value) {
+    check(addr, bytes);
+    for (int i = 0; i < bytes; ++i) {
+      data_[addr + i] = static_cast<u8>(value & 0xff);
+      value >>= 8;
+    }
+  }
+
+  std::span<const u8> bytes(Addr addr, size_t n) const {
+    check(addr, static_cast<int>(n));
+    return {data_.data() + addr, n};
+  }
+  std::span<u8> bytes(Addr addr, size_t n) {
+    check(addr, static_cast<int>(n));
+    return {data_.data() + addr, n};
+  }
+
+ private:
+  void check(Addr addr, int n) const {
+    if (static_cast<size_t>(addr) + static_cast<size_t>(n) > data_.size())
+      throw SimError("memory access out of bounds at " + std::to_string(addr));
+  }
+  std::vector<u8> data_;
+};
+
+/// A named simulated buffer: base address plus its memory-disambiguation
+/// alias group (paper §4.1 — distinct buffers never alias).
+struct Buffer {
+  Addr addr = 0;
+  u32 size = 0;
+  u16 group = 0;
+};
+
+/// Host-side staging area: allocates buffers in simulated memory and copies
+/// data in/out. One Workspace per application run.
+class Workspace {
+ public:
+  explicit Workspace(size_t mem_size = 16u * 1024 * 1024) : mem_(mem_size) {}
+
+  Buffer alloc(u32 bytes, u32 align = 64) {
+    next_ = (next_ + align - 1) / align * align;
+    VUV_CHECK(next_ + bytes <= mem_.size(), "workspace out of simulated memory");
+    Buffer b{static_cast<Addr>(next_), bytes, ++group_};
+    next_ += bytes;
+    return b;
+  }
+
+  MainMemory& mem() { return mem_; }
+  const MainMemory& mem() const { return mem_; }
+
+  /// Bytes allocated so far (the application's working set).
+  u32 used() const { return static_cast<u32>(next_); }
+
+  // ---- host I/O helpers -----------------------------------------------------
+  void write_u8(const Buffer& b, std::span<const u8> v, u32 off = 0) {
+    for (size_t i = 0; i < v.size(); ++i) mem_.store(b.addr + off + i, 1, v[i]);
+  }
+  void write_i16(const Buffer& b, std::span<const i16> v, u32 off = 0) {
+    for (size_t i = 0; i < v.size(); ++i)
+      mem_.store(b.addr + off + 2 * i, 2, static_cast<u16>(v[i]));
+  }
+  void write_u16(const Buffer& b, std::span<const u16> v, u32 off = 0) {
+    for (size_t i = 0; i < v.size(); ++i)
+      mem_.store(b.addr + off + 2 * i, 2, v[i]);
+  }
+  void write_i32(const Buffer& b, std::span<const i32> v, u32 off = 0) {
+    for (size_t i = 0; i < v.size(); ++i)
+      mem_.store(b.addr + off + 4 * i, 4, static_cast<u32>(v[i]));
+  }
+  std::vector<u8> read_u8(const Buffer& b, size_t n, u32 off = 0) const {
+    std::vector<u8> out(n);
+    for (size_t i = 0; i < n; ++i)
+      out[i] = static_cast<u8>(mem_.load(b.addr + off + i, 1, false));
+    return out;
+  }
+  std::vector<i16> read_i16(const Buffer& b, size_t n, u32 off = 0) const {
+    std::vector<i16> out(n);
+    for (size_t i = 0; i < n; ++i)
+      out[i] = static_cast<i16>(mem_.load(b.addr + off + 2 * i, 2, true));
+    return out;
+  }
+  std::vector<i32> read_i32(const Buffer& b, size_t n, u32 off = 0) const {
+    std::vector<i32> out(n);
+    for (size_t i = 0; i < n; ++i)
+      out[i] = static_cast<i32>(mem_.load(b.addr + off + 4 * i, 4, true));
+    return out;
+  }
+  u64 read_u64(const Buffer& b, u32 off = 0) const {
+    return mem_.load(b.addr + off, 8, false);
+  }
+
+ private:
+  MainMemory mem_;
+  size_t next_ = 64;  // keep address 0 unmapped-ish for easier debugging
+  u16 group_ = 0;
+};
+
+}  // namespace vuv

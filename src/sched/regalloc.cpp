@@ -1,0 +1,184 @@
+#include "sched/regalloc.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vuv {
+
+namespace {
+
+/// Registers read by an operation (architectural srcs only; special
+/// registers are not allocated).
+template <typename F>
+void for_each_use(const Operation& op, F&& f) {
+  const OpInfo& info = op.info();
+  for (u8 i = 0; i < info.nsrc; ++i)
+    if (op.src[i].valid() && op.src[i].cls != RegClass::kSpecial) f(op.src[i]);
+}
+
+struct Interval {
+  Reg reg;
+  i64 start;
+  i64 end;
+};
+
+}  // namespace
+
+RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg) {
+  VUV_CHECK(!prog.allocated, "program already register-allocated");
+
+  // ---- linearize ------------------------------------------------------------
+  const i32 nblocks = static_cast<i32>(prog.blocks.size());
+  std::vector<i64> block_start(nblocks), block_end(nblocks);
+  i64 pos = 0;
+  for (i32 b = 0; b < nblocks; ++b) {
+    block_start[b] = pos;
+    pos += static_cast<i64>(prog.blocks[b].ops.size());
+    block_end[b] = pos;  // exclusive
+  }
+
+  // ---- liveness (backward dataflow over the CFG) ---------------------------
+  using RegSet = std::set<std::pair<int, i32>>;  // (class, id)
+  auto key = [](const Reg& r) {
+    return std::pair<int, i32>{static_cast<int>(r.cls), r.id};
+  };
+
+  std::vector<RegSet> use(nblocks), def(nblocks), live_in(nblocks), live_out(nblocks);
+  for (i32 b = 0; b < nblocks; ++b) {
+    for (const Operation& op : prog.blocks[b].ops) {
+      for_each_use(op, [&](const Reg& r) {
+        if (!def[b].count(key(r))) use[b].insert(key(r));
+      });
+      if (op.dst.valid() && op.dst.cls != RegClass::kSpecial)
+        def[b].insert(key(op.dst));
+    }
+  }
+
+  auto successors = [&](i32 b) {
+    std::vector<i32> out;
+    const BasicBlock& blk = prog.blocks[b];
+    if (blk.fallthrough >= 0) out.push_back(blk.fallthrough);
+    if (const Operation* t = blk.terminator();
+        t && (t->info().flags.branch || t->info().flags.jump))
+      out.push_back(t->target_block);
+    return out;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (i32 b = nblocks - 1; b >= 0; --b) {
+      RegSet out;
+      for (i32 s : successors(b))
+        out.insert(live_in[s].begin(), live_in[s].end());
+      RegSet in = use[b];
+      for (const auto& k : out)
+        if (!def[b].count(k)) in.insert(k);
+      if (out != live_out[b] || in != live_in[b]) {
+        live_out[b] = std::move(out);
+        live_in[b] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  // ---- intervals -------------------------------------------------------------
+  std::map<std::pair<int, i32>, Interval> intervals;
+  auto extend = [&](const Reg& r, i64 at) {
+    auto [it, inserted] = intervals.try_emplace(key(r), Interval{r, at, at});
+    if (!inserted) {
+      it->second.start = std::min(it->second.start, at);
+      it->second.end = std::max(it->second.end, at);
+    }
+  };
+  for (i32 b = 0; b < nblocks; ++b) {
+    for (const auto& k : live_in[b])
+      extend(Reg{static_cast<RegClass>(k.first), k.second}, block_start[b]);
+    for (const auto& k : live_out[b])
+      extend(Reg{static_cast<RegClass>(k.first), k.second}, block_end[b]);
+    i64 p = block_start[b];
+    for (const Operation& op : prog.blocks[b].ops) {
+      for_each_use(op, [&](const Reg& r) { extend(r, p); });
+      if (op.dst.valid() && op.dst.cls != RegClass::kSpecial) extend(op.dst, p);
+      ++p;
+    }
+  }
+
+  // ---- linear scan per class -------------------------------------------------
+  auto file_size = [&](RegClass cls) -> i32 {
+    switch (cls) {
+      case RegClass::kInt: return cfg.int_regs;
+      case RegClass::kSimd: return cfg.simd_regs;
+      case RegClass::kVreg: return cfg.vec_regs;
+      case RegClass::kAcc: return cfg.acc_regs;
+      default: return 0;
+    }
+  };
+
+  std::vector<Interval> sorted;
+  sorted.reserve(intervals.size());
+  for (auto& [k, iv] : intervals) sorted.push_back(iv);
+  std::sort(sorted.begin(), sorted.end(), [](const Interval& a, const Interval& b) {
+    return a.start < b.start || (a.start == b.start && a.end < b.end);
+  });
+
+  RegAllocStats stats;
+  std::map<std::pair<int, i32>, i32> phys;  // virtual -> physical
+  // Per class: free list and active set ordered by end position. The free
+  // list is a FIFO so physical registers are reused round-robin: reusing the
+  // most-recently-freed register (LIFO) would create dense false WAR/WAW
+  // dependencies that serialize wide-issue schedules — the large register
+  // files of Table 2 exist precisely to avoid that.
+  std::array<std::deque<i32>, 6> free_regs;
+  std::array<std::multimap<i64, i32>, 6> active;  // end -> phys
+
+  for (int c = 0; c < 6; ++c) {
+    const i32 n = file_size(static_cast<RegClass>(c));
+    for (i32 i = 0; i < n; ++i) free_regs[c].push_back(i);
+  }
+
+  for (const Interval& iv : sorted) {
+    const int c = static_cast<int>(iv.reg.cls);
+    // Expire intervals that ended strictly before this start.
+    auto& act = active[c];
+    while (!act.empty() && act.begin()->first < iv.start) {
+      free_regs[c].push_back(act.begin()->second);
+      act.erase(act.begin());
+    }
+    if (free_regs[c].empty()) {
+      throw CompileError(
+          "register pressure exceeds " + std::string(reg_class_name(iv.reg.cls)) +
+          " file size (" + std::to_string(file_size(iv.reg.cls)) + ") on " + cfg.name);
+    }
+    const i32 p = free_regs[c].front();
+    free_regs[c].pop_front();
+    act.emplace(iv.end, p);
+    phys[{c, iv.reg.id}] = p;
+    stats.peak[c] = std::max(stats.peak[c], static_cast<i32>(act.size()));
+  }
+
+  // ---- rewrite -----------------------------------------------------------------
+  auto remap = [&](Reg& r) {
+    if (!r.valid() || r.cls == RegClass::kSpecial) return;
+    auto it = phys.find(key(r));
+    VUV_CHECK(it != phys.end(), "register without interval");
+    r.id = it->second;
+  };
+  for (BasicBlock& blk : prog.blocks) {
+    for (Operation& op : blk.ops) {
+      remap(op.dst);
+      for (auto& s : op.src) remap(s);
+    }
+  }
+  for (int c = 0; c < 6; ++c)
+    prog.reg_count[c] = file_size(static_cast<RegClass>(c));
+  prog.allocated = true;
+  return stats;
+}
+
+}  // namespace vuv

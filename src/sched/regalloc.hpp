@@ -1,0 +1,22 @@
+// Linear-scan register allocation over the CFG.
+//
+// Virtual registers get physical indices per class, bounded by the machine
+// configuration's register-file sizes (paper Table 2). The allocator throws
+// CompileError when a class's pressure exceeds the file size — the
+// applications in src/apps are written to fit the smallest configuration.
+#pragma once
+
+#include "ir/program.hpp"
+#include "sim/machine_config.hpp"
+
+namespace vuv {
+
+struct RegAllocStats {
+  /// Maximum number of simultaneously live registers, per class.
+  std::array<i32, 6> peak{};
+};
+
+/// Rewrites `prog` in place from virtual to physical registers.
+RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg);
+
+}  // namespace vuv

@@ -1,0 +1,398 @@
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/regalloc.hpp"
+#include "sched/schedule.hpp"
+
+namespace vuv {
+
+namespace {
+
+constexpr i32 kUnknownVl = -1;
+
+/// Forward dataflow of the vector-length register: the compiler needs VL to
+/// compute vector latency descriptors (§3.3). "The vector length register is
+/// usually initialized with an immediate value, and a simple data flow
+/// analysis is able to provide the right value... In the few cases in which
+/// the vector length is not known at compile time, the compiler must assume
+/// the maximum vector length (16)."
+struct VlAnalysis {
+  std::vector<i32> entry_vl;  // per block; kUnknownVl = unknown
+  std::vector<i32> entry_vs;  // per block, stride in bytes; kUnknownVl = unknown
+
+  static VlAnalysis run(const Program& prog) {
+    const i32 n = static_cast<i32>(prog.blocks.size());
+    VlAnalysis a;
+    // Start as "uninitialized" (use a sentinel distinct from unknown).
+    constexpr i32 kTop = -2;
+    a.entry_vl.assign(n, kTop);
+    a.entry_vs.assign(n, kTop);
+    a.entry_vl[prog.entry] = kUnknownVl;
+    a.entry_vs[prog.entry] = kUnknownVl;
+
+    auto transfer = [](const BasicBlock& blk, i32 in, bool vl) {
+      for (const Operation& op : blk.ops) {
+        if (vl && op.op == Opcode::SETVLI) in = static_cast<i32>(op.imm);
+        if (vl && op.op == Opcode::SETVL) in = kUnknownVl;
+        if (!vl && op.op == Opcode::SETVSI) in = static_cast<i32>(op.imm);
+        if (!vl && op.op == Opcode::SETVS) in = kUnknownVl;
+      }
+      return in;
+    };
+    auto meet = [](i32 a_, i32 b_) {
+      if (a_ == kTop) return b_;
+      if (b_ == kTop) return a_;
+      return a_ == b_ ? a_ : kUnknownVl;
+    };
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (i32 b = 0; b < n; ++b) {
+        if (a.entry_vl[b] == kTop) continue;
+        const BasicBlock& blk = prog.blocks[b];
+        const i32 out_vl = transfer(blk, a.entry_vl[b], true);
+        const i32 out_vs = transfer(blk, a.entry_vs[b], false);
+        std::vector<i32> succs;
+        if (blk.fallthrough >= 0) succs.push_back(blk.fallthrough);
+        if (const Operation* t = blk.terminator();
+            t && (t->info().flags.branch || t->info().flags.jump))
+          succs.push_back(t->target_block);
+        for (i32 s : succs) {
+          const i32 nvl = meet(a.entry_vl[s], out_vl);
+          const i32 nvs = meet(a.entry_vs[s], out_vs);
+          if (nvl != a.entry_vl[s] || nvs != a.entry_vs[s]) {
+            a.entry_vl[s] = nvl;
+            a.entry_vs[s] = nvs;
+            changed = true;
+          }
+        }
+      }
+    }
+    return a;
+  }
+};
+
+struct Edge {
+  i32 to;
+  Cycle lat;
+};
+
+/// Which special register (if any) an op writes.
+Reg written_special(const Operation& op) {
+  switch (op.op) {
+    case Opcode::SETVLI:
+    case Opcode::SETVL: return reg_vl();
+    case Opcode::SETVSI:
+    case Opcode::SETVS: return reg_vs();
+    default: return Reg{};
+  }
+}
+
+class BlockScheduler {
+ public:
+  BlockScheduler(const BasicBlock& blk, const MachineConfig& cfg, i32 entry_vl,
+                 i32 entry_vs)
+      : blk_(blk), cfg_(cfg) {
+    const i32 n = static_cast<i32>(blk.ops.size());
+    vl_.assign(n, 16);
+    vs_.assign(n, kUnknownVl);
+    i32 vl = entry_vl, vs = entry_vs;
+    for (i32 i = 0; i < n; ++i) {
+      vl_[i] = (vl == kUnknownVl) ? cfg.max_vl : vl;
+      vs_[i] = vs;
+      const Operation& op = blk.ops[i];
+      if (op.op == Opcode::SETVLI) vl = static_cast<i32>(op.imm);
+      if (op.op == Opcode::SETVL) vl = kUnknownVl;
+      if (op.op == Opcode::SETVSI) vs = static_cast<i32>(op.imm);
+      if (op.op == Opcode::SETVS) vs = kUnknownVl;
+    }
+  }
+
+  /// Element production/consumption rate (elements per cycle) the scheduler
+  /// assumes for a vector op. Memory ops are scheduled as stride-one at the
+  /// full port width unless the stride-aware ablation is on and the stride
+  /// is known to differ (§3.3).
+  i64 rate(i32 i) const {
+    const Operation& op = blk_.ops[i];
+    const OpInfo& info = op.info();
+    if (info.fu == FuClass::kVecMem) {
+      if (cfg_.stride_aware_sched && vs_[i] != kUnknownVl && vs_[i] != 8) return 1;
+      return cfg_.l2_port_elems;
+    }
+    return cfg_.lanes;
+  }
+
+  Cycle tlr(i32 i) const {
+    const Operation& op = blk_.ops[i];
+    if (!op.info().flags.vector) return 0;
+    return (vl_[i] - 1) / rate(i);
+  }
+
+  Cycle tlw(i32 i) const {
+    const Operation& op = blk_.ops[i];
+    const Cycle L = op.info().latency;
+    if (!op.info().flags.vector) return L;
+    return L + (vl_[i] - 1) / rate(i);
+  }
+
+  Cycle occupancy(i32 i) const {
+    const Operation& op = blk_.ops[i];
+    if (!op.info().flags.vector) return 1;
+    return ceil_div(vl_[i], rate(i));
+  }
+
+  BlockSchedule run() {
+    build_edges();
+    compute_priorities();
+    return list_schedule();
+  }
+
+ private:
+  void add_edge(i32 from, i32 to, Cycle lat) {
+    if (from == to) return;
+    succ_[from].push_back({to, std::max<Cycle>(lat, 0)});
+    ++pred_count_[to];
+  }
+
+  void build_edges() {
+    const i32 n = static_cast<i32>(blk_.ops.size());
+    succ_.assign(n, {});
+    pred_count_.assign(n, 0);
+
+    // last writer / readers per register
+    std::map<std::pair<int, i32>, i32> last_def;
+    std::map<std::pair<int, i32>, std::vector<i32>> readers_since_def;
+    auto key = [](const Reg& r) {
+      return std::pair<int, i32>{static_cast<int>(r.cls), r.id};
+    };
+
+    std::vector<i32> mem_ops;  // indices of memory ops seen so far
+
+    for (i32 j = 0; j < n; ++j) {
+      const Operation& op = blk_.ops[j];
+      const OpInfo& info = op.info();
+
+      // Register reads: architectural srcs plus implicit VL/VS reads.
+      std::vector<Reg> reads;
+      for (u8 s = 0; s < info.nsrc; ++s)
+        if (op.src[s].valid()) reads.push_back(op.src[s]);
+      if (info.flags.reads_vl) reads.push_back(reg_vl());
+      if (info.flags.reads_vs) reads.push_back(reg_vs());
+
+      for (const Reg& r : reads) {
+        auto it = last_def.find(key(r));
+        if (it != last_def.end()) {
+          const i32 i = it->second;
+          // RAW. Chaining: a vector op consuming a vector register may start
+          // once the producer's first elements are available (offset = the
+          // producer's flow latency), because both proceed at compatible
+          // element rates (§3.3).
+          const Operation& prod = blk_.ops[i];
+          Cycle lat;
+          if (cfg_.chaining && r.cls == RegClass::kVreg &&
+              prod.info().flags.vector && info.flags.vector) {
+            lat = prod.info().latency;
+          } else {
+            lat = tlw(i);
+          }
+          add_edge(i, j, lat);
+        }
+        readers_since_def[key(r)].push_back(j);
+      }
+
+      // Register writes: dst plus special-register writes.
+      std::vector<Reg> writes;
+      if (op.dst.valid()) writes.push_back(op.dst);
+      if (const Reg sp = written_special(op); sp.valid()) writes.push_back(sp);
+
+      for (const Reg& w : writes) {
+        // WAR edges from readers since the previous def.
+        auto rit = readers_since_def.find(key(w));
+        if (rit != readers_since_def.end()) {
+          for (i32 i : rit->second)
+            if (i != j)
+              add_edge(i, j, tlr(i) + 1 - blk_.ops[j].info().latency);
+        }
+        // WAW edge from previous def.
+        auto dit = last_def.find(key(w));
+        if (dit != last_def.end())
+          add_edge(dit->second, j, std::max<Cycle>(1, tlw(dit->second) - tlw(j) + 1));
+        last_def[key(w)] = j;
+        readers_since_def[key(w)].clear();
+      }
+
+      // Memory dependences.
+      if (info.flags.mem_load || info.flags.mem_store) {
+        for (i32 i : mem_ops) {
+          const OpInfo& pi = blk_.ops[i].info();
+          const bool both_loads = pi.flags.mem_load && info.flags.mem_load;
+          if (both_loads) continue;
+          if (may_alias(blk_.ops[i], op)) {
+            Cycle lat;
+            if (pi.flags.mem_store) {
+              lat = 1 + tlr(i);  // store data committed as elements issue
+            } else {
+              lat = tlr(i) + 1 - info.latency;  // WAR on memory
+            }
+            add_edge(i, j, lat);
+          }
+        }
+        mem_ops.push_back(j);
+      }
+
+      // Everything precedes the terminator (it must sit in the last word).
+      const bool is_term = info.flags.branch || info.flags.jump || info.flags.halt;
+      if (is_term)
+        for (i32 i = 0; i < j; ++i) add_edge(i, j, 0);
+    }
+  }
+
+  bool may_alias(const Operation& a, const Operation& b) const {
+    if (!cfg_.mem_disambiguation) return true;
+    if (a.alias_group == 0 || b.alias_group == 0) return true;
+    return a.alias_group == b.alias_group;
+  }
+
+  void compute_priorities() {
+    const i32 n = static_cast<i32>(blk_.ops.size());
+    prio_.assign(n, 0);
+    for (i32 i = n - 1; i >= 0; --i) {
+      Cycle p = occupancy(i);
+      for (const Edge& e : succ_[i]) p = std::max(p, e.lat + prio_[e.to]);
+      prio_[i] = p;
+    }
+  }
+
+  /// A functional-unit pool: per-instance busy-until times.
+  struct Pool {
+    std::vector<Cycle> busy;
+    explicit Pool(i32 count) : busy(static_cast<size_t>(std::max(count, 0)), 0) {}
+    bool try_take(Cycle t, Cycle occ) {
+      for (auto& b : busy)
+        if (b <= t) {
+          b = t + occ;
+          return true;
+        }
+      return false;
+    }
+  };
+
+  BlockSchedule list_schedule() {
+    const i32 n = static_cast<i32>(blk_.ops.size());
+    BlockSchedule out;
+    out.issue.assign(n, 0);
+    out.sched_vl.assign(n, 1);
+    if (n == 0) return out;
+
+    std::vector<Cycle> earliest(n, 0);
+    std::vector<i32> preds_left = pred_count_;
+    std::vector<bool> done(n, false);
+
+    Pool ints(cfg_.int_units), simds(cfg_.simd_units), vecs(cfg_.vec_units),
+        l1(cfg_.l1_ports), l2(cfg_.l2_ports), br(cfg_.branch_units);
+    auto pool_for = [&](FuClass fu) -> Pool* {
+      switch (fu) {
+        case FuClass::kInt: return &ints;
+        case FuClass::kMem: return &l1;
+        case FuClass::kBranch: return &br;
+        case FuClass::kSimd: return &simds;
+        case FuClass::kVec: return &vecs;
+        case FuClass::kVecMem: return &l2;
+        case FuClass::kNone: return nullptr;
+      }
+      return nullptr;
+    };
+
+    i32 remaining = n;
+    Cycle t = 0;
+    std::map<Cycle, std::vector<i32>> words;
+    while (remaining > 0) {
+      // Ready ops at time t, highest priority first.
+      std::vector<i32> ready;
+      for (i32 i = 0; i < n; ++i)
+        if (!done[i] && preds_left[i] == 0 && earliest[i] <= t) ready.push_back(i);
+      std::sort(ready.begin(), ready.end(), [&](i32 a, i32 b) {
+        return prio_[a] > prio_[b] || (prio_[a] == prio_[b] && a < b);
+      });
+
+      i32 slots = cfg_.issue_width - static_cast<i32>(words[t].size());
+      for (i32 i : ready) {
+        if (slots <= 0) break;
+        Pool* pool = pool_for(blk_.ops[i].info().fu);
+        if (pool && !pool->try_take(t, occupancy(i))) continue;
+        done[i] = true;
+        out.issue[i] = t;
+        out.sched_vl[i] = blk_.ops[i].info().flags.vector ? vl_[i] : 1;
+        words[t].push_back(i);
+        --slots;
+        --remaining;
+        for (const Edge& e : succ_[i]) {
+          earliest[e.to] = std::max(earliest[e.to], t + e.lat);
+          --preds_left[e.to];
+        }
+      }
+      if (remaining > 0) ++t;
+      VUV_CHECK(t < 1'000'000, "scheduler failed to converge");
+    }
+
+    for (auto& [cycle, ops] : words) {
+      if (ops.empty()) continue;
+      VliwWord w;
+      w.cycle = cycle;
+      w.ops = std::move(ops);
+      out.words.push_back(std::move(w));
+    }
+    out.length = out.words.empty() ? 0 : out.words.back().cycle + 1;
+    return out;
+  }
+
+  const BasicBlock& blk_;
+  const MachineConfig& cfg_;
+  std::vector<i32> vl_, vs_;  // scheduler-visible VL/VS at each op
+  std::vector<std::vector<Edge>> succ_;
+  std::vector<i32> pred_count_;
+  std::vector<Cycle> prio_;
+};
+
+void check_isa_level(const Program& prog, const MachineConfig& cfg) {
+  for (const BasicBlock& blk : prog.blocks) {
+    for (const Operation& op : blk.ops) {
+      const FuClass fu = op.info().fu;
+      if ((fu == FuClass::kSimd || op.op == Opcode::LDQS || op.op == Opcode::STQS) &&
+          cfg.simd_units == 0)
+        throw CompileError("program uses µSIMD ops but " + cfg.name +
+                           " has no µSIMD units");
+      if ((fu == FuClass::kVec || fu == FuClass::kVecMem) && cfg.vec_units == 0)
+        throw CompileError("program uses vector ops but " + cfg.name +
+                           " has no vector units");
+    }
+  }
+}
+
+}  // namespace
+
+ScheduledProgram schedule_program(Program prog, const MachineConfig& cfg) {
+  VUV_CHECK(prog.allocated, "schedule_program requires allocated registers");
+  const VlAnalysis vl = VlAnalysis::run(prog);
+  ScheduledProgram out;
+  out.cfg = cfg;
+  out.blocks.reserve(prog.blocks.size());
+  for (size_t b = 0; b < prog.blocks.size(); ++b) {
+    BlockScheduler sched(prog.blocks[b], cfg, vl.entry_vl[b], vl.entry_vs[b]);
+    out.blocks.push_back(sched.run());
+  }
+  out.prog = std::move(prog);
+  return out;
+}
+
+ScheduledProgram compile(Program prog, const MachineConfig& cfg) {
+  verify(prog);
+  check_isa_level(prog, cfg);
+  allocate_registers(prog, cfg);
+  return schedule_program(std::move(prog), cfg);
+}
+
+}  // namespace vuv

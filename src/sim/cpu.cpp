@@ -1,0 +1,254 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vuv {
+
+namespace {
+
+/// Runtime functional-unit pool with per-instance busy-until times.
+class Pool {
+ public:
+  explicit Pool(i32 count) : busy_(static_cast<size_t>(std::max(count, 0)), 0) {}
+
+  /// Earliest cycle at which `want` instances are simultaneously free.
+  Cycle free_at(i32 want) const {
+    if (want <= 0) return 0;
+    VUV_CHECK(static_cast<size_t>(want) <= busy_.size(),
+              "VLIW word over-subscribes a functional-unit class");
+    std::vector<Cycle> b(busy_);
+    std::nth_element(b.begin(), b.begin() + (want - 1), b.end());
+    return b[static_cast<size_t>(want - 1)];
+  }
+
+  void take(Cycle t, Cycle occ) {
+    for (auto& b : busy_)
+      if (b <= t) {
+        b = t + std::max<Cycle>(occ, 1);
+        return;
+      }
+    throw InternalError("pool take with no free instance");
+  }
+
+ private:
+  std::vector<Cycle> busy_;
+};
+
+i64 uops_of(const Operation& op, i32 vl) {
+  const Opcode o = op.op;
+  if (o >= Opcode::M_PADDB && o <= Opcode::M_PSHUFH) return lanes_of(o);
+  if (o >= Opcode::V_PADDB && o <= Opcode::V_PSHUFH)
+    return static_cast<i64>(vl) * lanes_of(o);
+  switch (o) {
+    case Opcode::VLD:
+    case Opcode::VST: return vl;
+    case Opcode::VSADACC: return static_cast<i64>(vl) * 8;
+    case Opcode::VMACH: return static_cast<i64>(vl) * 4;
+    default: return 1;
+  }
+}
+
+}  // namespace
+
+Cpu::Cpu(const ScheduledProgram& sp, MainMemory& mem) : sp_(sp), mem_(mem) {}
+
+SimResult Cpu::run(Cycle max_cycles) {
+  const MachineConfig& cfg = sp_.cfg;
+  const Program& prog = sp_.prog;
+  VUV_CHECK(prog.allocated, "program must be register-allocated");
+
+  CpuState st;
+  st.iregs.assign(static_cast<size_t>(cfg.int_regs), 0);
+  st.sregs.assign(static_cast<size_t>(std::max(cfg.simd_regs, 1)), 0);
+  st.vregs.assign(static_cast<size_t>(std::max(cfg.vec_regs, 1)), VecValue{});
+  st.aregs.assign(static_cast<size_t>(std::max(cfg.acc_regs, 1)), AccValue{});
+
+  // Scoreboard: per-register ready times (full) and, for vector registers,
+  // the chaining point (first elements available at a sustainable rate).
+  std::vector<Cycle> iready(st.iregs.size(), 0), sready(st.sregs.size(), 0);
+  std::vector<Cycle> vready(st.vregs.size(), 0), vchain(st.vregs.size(), 0);
+  std::vector<Cycle> aready(st.aregs.size(), 0);
+  Cycle vl_ready = 0, vs_ready = 0;
+
+  Pool ints(cfg.int_units), simds(cfg.simd_units), vecs(cfg.vec_units),
+      l1(cfg.l1_ports), l2(cfg.l2_ports), br(cfg.branch_units);
+  auto pool_for = [&](FuClass fu) -> Pool* {
+    switch (fu) {
+      case FuClass::kInt: return &ints;
+      case FuClass::kMem: return &l1;
+      case FuClass::kBranch: return &br;
+      case FuClass::kSimd: return &simds;
+      case FuClass::kVec: return &vecs;
+      case FuClass::kVecMem: return &l2;
+      case FuClass::kNone: return nullptr;
+    }
+    return nullptr;
+  };
+
+  MemorySystem memsys(cfg);
+  for (const auto& [start, bytes] : warm_) memsys.warm(start, bytes);
+
+  SimResult res;
+  res.config_name = cfg.name;
+  res.regions.resize(std::max<size_t>(prog.region_names.size(), 1));
+  for (size_t i = 0; i < prog.region_names.size(); ++i)
+    res.regions[i].name = prog.region_names[i];
+
+  i32 block = prog.entry;
+  Cycle now = 0;
+  bool halted = false;
+
+  std::vector<WriteBack> wbs;
+  std::vector<const Operation*> wb_ops;
+
+  while (!halted) {
+    const BasicBlock& blk = prog.block(block);
+    const BlockSchedule& bs = sp_.blocks[static_cast<size_t>(block)];
+    RegionStats& reg = res.regions[blk.region];
+    const Cycle block_entry = now;
+
+    i32 next_block = blk.fallthrough;
+    bool taken = false;
+    Cycle prev_sched = -1, prev_issue = -1;
+    Cycle exit_time = block_entry;
+
+    for (const VliwWord& w : bs.words) {
+      // Lockstep base time: preserve the static spacing between words.
+      Cycle base = (prev_sched < 0) ? block_entry + w.cycle
+                                    : prev_issue + (w.cycle - prev_sched);
+      Cycle issue = base;
+
+      // ---- pass A: issue-time constraints -------------------------------
+      i32 fu_need[7] = {0, 0, 0, 0, 0, 0, 0};
+      for (i32 oi : w.ops) {
+        const Operation& op = blk.ops[static_cast<size_t>(oi)];
+        const OpInfo& info = op.info();
+        for (u8 s = 0; s < info.nsrc; ++s) {
+          const Reg r = op.src[s];
+          if (!r.valid()) continue;
+          switch (r.cls) {
+            case RegClass::kInt:
+              issue = std::max(issue, iready[static_cast<size_t>(r.id)]);
+              break;
+            case RegClass::kSimd:
+              issue = std::max(issue, sready[static_cast<size_t>(r.id)]);
+              break;
+            case RegClass::kVreg:
+              // Chained consumers (vector ops) need only the chain point.
+              issue = std::max(issue, (info.flags.vector && cfg.chaining)
+                                          ? vchain[static_cast<size_t>(r.id)]
+                                          : vready[static_cast<size_t>(r.id)]);
+              break;
+            case RegClass::kAcc:
+              issue = std::max(issue, aready[static_cast<size_t>(r.id)]);
+              break;
+            default: break;
+          }
+        }
+        if (info.flags.reads_vl) issue = std::max(issue, vl_ready);
+        if (info.flags.reads_vs) issue = std::max(issue, vs_ready);
+        ++fu_need[static_cast<int>(info.fu)];
+      }
+      for (int f = 1; f < 7; ++f)
+        if (fu_need[f] > 0) {
+          Pool* p = pool_for(static_cast<FuClass>(f));
+          issue = std::max(issue, p->free_at(fu_need[f]));
+        }
+
+      res.stall_cycles += issue - base;
+      if (issue >= max_cycles) throw SimError("simulation exceeded cycle budget");
+
+      // ---- pass B: execute, take resources, set ready times ---------------
+      wbs.clear();
+      wb_ops.clear();
+      for (i32 oi : w.ops) {
+        const Operation& op = blk.ops[static_cast<size_t>(oi)];
+        const OpInfo& info = op.info();
+
+        WriteBack wb;
+        const ExecInfo ex = execute_op(op, st, mem_, wb);
+
+        Cycle dst_full = issue + info.latency;
+        Cycle dst_chain = dst_full;
+        Cycle occ = 1;
+
+        if (ex.is_mem) {
+          const MemResult mr =
+              ex.mem_vector
+                  ? memsys.vector_access(ex.mem_addr, ex.mem_stride, ex.mem_vl,
+                                         ex.mem_store, issue)
+                  : memsys.scalar_access(ex.mem_addr, 8, ex.mem_store, issue);
+          dst_full = mr.ready;
+          dst_chain = mr.chain_ready;
+          occ = mr.port_busy;
+        } else if (info.flags.vector) {
+          // Vector compute: LN sub-operations per cycle.
+          dst_full = issue + info.latency + (ex.vl - 1) / cfg.lanes;
+          dst_chain = issue + info.latency;
+          occ = ceil_div(ex.vl, cfg.lanes);
+        }
+
+        if (Pool* p = pool_for(info.fu)) p->take(issue, occ);
+
+        if (wb.dst.valid()) {
+          switch (wb.dst.cls) {
+            case RegClass::kInt: iready[static_cast<size_t>(wb.dst.id)] = dst_full; break;
+            case RegClass::kSimd: sready[static_cast<size_t>(wb.dst.id)] = dst_full; break;
+            case RegClass::kVreg:
+              vready[static_cast<size_t>(wb.dst.id)] = dst_full;
+              vchain[static_cast<size_t>(wb.dst.id)] = dst_chain;
+              break;
+            case RegClass::kAcc: aready[static_cast<size_t>(wb.dst.id)] = dst_full; break;
+            default: break;
+          }
+        }
+        if (wb.sets_vl) vl_ready = issue + 1;
+        if (wb.sets_vs) vs_ready = issue + 1;
+
+        if (ex.branch_taken) {
+          taken = true;
+          next_block = op.target_block;
+        }
+        if (ex.halted) halted = true;
+
+        reg.ops += 1;
+        reg.uops += uops_of(op, ex.vl);
+
+        wbs.push_back(wb);
+      }
+      for (const WriteBack& wb : wbs) apply_writeback(wb, st);
+
+      reg.words += 1;
+      prev_sched = w.cycle;
+      prev_issue = issue;
+      exit_time = issue + 1;
+    }
+
+    // Taken control transfers pay a one-cycle fetch bubble.
+    Cycle next_time = exit_time + (taken ? 1 : 0);
+    if (taken) ++res.taken_branches;
+    reg.cycles += next_time - block_entry;
+
+    if (halted) {
+      now = exit_time;
+      break;
+    }
+    VUV_CHECK(next_block >= 0, "control fell off the program");
+    block = next_block;
+    now = next_time;
+  }
+
+  res.cycles = now;
+  res.mem = memsys.stats();
+  return res;
+}
+
+SimResult run_program(Program prog, const MachineConfig& cfg, MainMemory& mem) {
+  const ScheduledProgram sp = compile(std::move(prog), cfg);
+  Cpu cpu(sp, mem);
+  return cpu.run();
+}
+
+}  // namespace vuv

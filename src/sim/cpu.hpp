@@ -1,0 +1,75 @@
+// Cycle-level execution of a scheduled program.
+//
+// The machine is an in-order lockstep VLIW: one VLIW instruction (word) may
+// issue per cycle, at its statically scheduled distance from the previous
+// word or later. The processor stalls the whole pipe when run-time latency
+// differs from the compiler's assumption — cache misses, bank occupancy, or
+// non-stride-one vector accesses that the compiler scheduled as stride-one
+// (paper §3.3/§4.2: "the compiler schedules all memory operations assuming
+// they hit in the cache and the processor is stalled at run-time in case of
+// a cache miss or bank conflict").
+#pragma once
+
+#include "mem/hierarchy.hpp"
+#include "sched/schedule.hpp"
+#include "sim/exec.hpp"
+
+namespace vuv {
+
+struct RegionStats {
+  std::string name;
+  Cycle cycles = 0;
+  i64 ops = 0;    // dynamic operations (what fetch/decode must handle)
+  i64 uops = 0;   // dynamic µ-operations (sub-word items processed)
+  i64 words = 0;  // dynamic VLIW instructions fetched
+};
+
+struct SimResult {
+  std::string config_name;
+  Cycle cycles = 0;
+  Cycle stall_cycles = 0;  // cycles lost versus the static schedule
+  i64 taken_branches = 0;
+  std::vector<RegionStats> regions;
+  MemStats mem;
+
+  i64 total_ops() const {
+    i64 n = 0;
+    for (const auto& r : regions) n += r.ops;
+    return n;
+  }
+  i64 total_uops() const {
+    i64 n = 0;
+    for (const auto& r : regions) n += r.uops;
+    return n;
+  }
+  /// Cycles spent in vector regions (region id >= 1).
+  Cycle vector_cycles() const {
+    Cycle n = 0;
+    for (size_t i = 1; i < regions.size(); ++i) n += regions[i].cycles;
+    return n;
+  }
+  Cycle scalar_cycles() const { return cycles - vector_cycles(); }
+};
+
+class Cpu {
+ public:
+  /// The scheduled program must outlive the Cpu.
+  Cpu(const ScheduledProgram& sp, MainMemory& mem);
+
+  /// Pre-fill the L3 with an address range before running (see
+  /// MemorySystem::warm).
+  void warm(Addr start, u32 bytes) { warm_.emplace_back(start, bytes); }
+
+  /// Run to HALT. Throws SimError if `max_cycles` elapses first.
+  SimResult run(Cycle max_cycles = 4'000'000'000LL);
+
+ private:
+  const ScheduledProgram& sp_;
+  MainMemory& mem_;
+  std::vector<std::pair<Addr, u32>> warm_;
+};
+
+/// Convenience: compile + simulate, returning the result.
+SimResult run_program(Program prog, const MachineConfig& cfg, MainMemory& mem);
+
+}  // namespace vuv

@@ -1,0 +1,515 @@
+#include "sim/exec.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace vuv {
+
+namespace {
+
+u64 packed_binary(Opcode op, u64 a, u64 b) {
+  switch (op) {
+    case Opcode::M_PADDB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return wrap(static_cast<i64>(get_lane(x, l, 8) + get_lane(y, l, 8)), 8);
+      });
+    case Opcode::M_PADDH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(static_cast<i64>(get_lane(x, l, 16) + get_lane(y, l, 16)), 16);
+      });
+    case Opcode::M_PADDW:
+      return map_lanes(a, b, 32, [](int l, u64 x, u64 y) {
+        return wrap(static_cast<i64>(get_lane(x, l, 32) + get_lane(y, l, 32)), 32);
+      });
+    case Opcode::M_PADDSB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return wrap(sat_signed(get_lane_signed(x, l, 8) + get_lane_signed(y, l, 8), 8), 8);
+      });
+    case Opcode::M_PADDSH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(sat_signed(get_lane_signed(x, l, 16) + get_lane_signed(y, l, 16), 16), 16);
+      });
+    case Opcode::M_PADDUSB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return wrap(sat_unsigned(static_cast<i64>(get_lane(x, l, 8) + get_lane(y, l, 8)), 8), 8);
+      });
+    case Opcode::M_PADDUSH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(sat_unsigned(static_cast<i64>(get_lane(x, l, 16) + get_lane(y, l, 16)), 16), 16);
+      });
+    case Opcode::M_PSUBB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return wrap(static_cast<i64>(get_lane(x, l, 8)) - static_cast<i64>(get_lane(y, l, 8)), 8);
+      });
+    case Opcode::M_PSUBH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(static_cast<i64>(get_lane(x, l, 16)) - static_cast<i64>(get_lane(y, l, 16)), 16);
+      });
+    case Opcode::M_PSUBW:
+      return map_lanes(a, b, 32, [](int l, u64 x, u64 y) {
+        return wrap(static_cast<i64>(get_lane(x, l, 32)) - static_cast<i64>(get_lane(y, l, 32)), 32);
+      });
+    case Opcode::M_PSUBSB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return wrap(sat_signed(get_lane_signed(x, l, 8) - get_lane_signed(y, l, 8), 8), 8);
+      });
+    case Opcode::M_PSUBSH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(sat_signed(get_lane_signed(x, l, 16) - get_lane_signed(y, l, 16), 16), 16);
+      });
+    case Opcode::M_PSUBUSB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return wrap(sat_unsigned(static_cast<i64>(get_lane(x, l, 8)) - static_cast<i64>(get_lane(y, l, 8)), 8), 8);
+      });
+    case Opcode::M_PSUBUSH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(sat_unsigned(static_cast<i64>(get_lane(x, l, 16)) - static_cast<i64>(get_lane(y, l, 16)), 16), 16);
+      });
+    case Opcode::M_PMULLH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(get_lane_signed(x, l, 16) * get_lane_signed(y, l, 16), 16);
+      });
+    case Opcode::M_PMULHH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap((get_lane_signed(x, l, 16) * get_lane_signed(y, l, 16)) >> 16, 16);
+      });
+    case Opcode::M_PMULHUH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(static_cast<i64>((get_lane(x, l, 16) * get_lane(y, l, 16)) >> 16), 16);
+      });
+    case Opcode::M_PMADDH: {
+      u64 out = 0;
+      for (int k = 0; k < 2; ++k) {
+        const i64 p0 = get_lane_signed(a, 2 * k, 16) * get_lane_signed(b, 2 * k, 16);
+        const i64 p1 = get_lane_signed(a, 2 * k + 1, 16) * get_lane_signed(b, 2 * k + 1, 16);
+        out = set_lane(out, k, 32, wrap(p0 + p1, 32));
+      }
+      return out;
+    }
+    case Opcode::M_PAVGB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return (get_lane(x, l, 8) + get_lane(y, l, 8) + 1) >> 1;
+      });
+    case Opcode::M_PAVGH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return (get_lane(x, l, 16) + get_lane(y, l, 16) + 1) >> 1;
+      });
+    case Opcode::M_PMINUB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return std::min(get_lane(x, l, 8), get_lane(y, l, 8));
+      });
+    case Opcode::M_PMAXUB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return std::max(get_lane(x, l, 8), get_lane(y, l, 8));
+      });
+    case Opcode::M_PMINSH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(std::min(get_lane_signed(x, l, 16), get_lane_signed(y, l, 16)), 16);
+      });
+    case Opcode::M_PMAXSH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return wrap(std::max(get_lane_signed(x, l, 16), get_lane_signed(y, l, 16)), 16);
+      });
+    case Opcode::M_PSADBW:
+      return sad_bytes(a, b);
+    case Opcode::M_PACKSSHB: {
+      u64 out = 0;
+      for (int l = 0; l < 4; ++l)
+        out = set_lane(out, l, 8, wrap(sat_signed(get_lane_signed(a, l, 16), 8), 8));
+      for (int l = 0; l < 4; ++l)
+        out = set_lane(out, l + 4, 8, wrap(sat_signed(get_lane_signed(b, l, 16), 8), 8));
+      return out;
+    }
+    case Opcode::M_PACKUSHB: {
+      u64 out = 0;
+      for (int l = 0; l < 4; ++l)
+        out = set_lane(out, l, 8, static_cast<u64>(sat_unsigned(get_lane_signed(a, l, 16), 8)));
+      for (int l = 0; l < 4; ++l)
+        out = set_lane(out, l + 4, 8, static_cast<u64>(sat_unsigned(get_lane_signed(b, l, 16), 8)));
+      return out;
+    }
+    case Opcode::M_PACKSSWH: {
+      u64 out = 0;
+      for (int l = 0; l < 2; ++l)
+        out = set_lane(out, l, 16, wrap(sat_signed(get_lane_signed(a, l, 32), 16), 16));
+      for (int l = 0; l < 2; ++l)
+        out = set_lane(out, l + 2, 16, wrap(sat_signed(get_lane_signed(b, l, 32), 16), 16));
+      return out;
+    }
+    case Opcode::M_PUNPCKLBH: {
+      u64 out = 0;
+      for (int l = 0; l < 4; ++l) {
+        out = set_lane(out, 2 * l, 8, get_lane(a, l, 8));
+        out = set_lane(out, 2 * l + 1, 8, get_lane(b, l, 8));
+      }
+      return out;
+    }
+    case Opcode::M_PUNPCKHBH: {
+      u64 out = 0;
+      for (int l = 0; l < 4; ++l) {
+        out = set_lane(out, 2 * l, 8, get_lane(a, l + 4, 8));
+        out = set_lane(out, 2 * l + 1, 8, get_lane(b, l + 4, 8));
+      }
+      return out;
+    }
+    case Opcode::M_PUNPCKLHW: {
+      u64 out = 0;
+      for (int l = 0; l < 2; ++l) {
+        out = set_lane(out, 2 * l, 16, get_lane(a, l, 16));
+        out = set_lane(out, 2 * l + 1, 16, get_lane(b, l, 16));
+      }
+      return out;
+    }
+    case Opcode::M_PUNPCKHHW: {
+      u64 out = 0;
+      for (int l = 0; l < 2; ++l) {
+        out = set_lane(out, 2 * l, 16, get_lane(a, l + 2, 16));
+        out = set_lane(out, 2 * l + 1, 16, get_lane(b, l + 2, 16));
+      }
+      return out;
+    }
+    case Opcode::M_PUNPCKLWD:
+      return set_lane(set_lane(0, 0, 32, get_lane(a, 0, 32)), 1, 32, get_lane(b, 0, 32));
+    case Opcode::M_PUNPCKHWD:
+      return set_lane(set_lane(0, 0, 32, get_lane(a, 1, 32)), 1, 32, get_lane(b, 1, 32));
+    case Opcode::M_PAND:
+      return a & b;
+    case Opcode::M_POR:
+      return a | b;
+    case Opcode::M_PXOR:
+      return a ^ b;
+    case Opcode::M_PANDN:
+      return ~a & b;
+    case Opcode::M_PCMPEQB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return get_lane(x, l, 8) == get_lane(y, l, 8) ? 0xffu : 0u;
+      });
+    case Opcode::M_PCMPEQH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return get_lane(x, l, 16) == get_lane(y, l, 16) ? 0xffffu : 0u;
+      });
+    case Opcode::M_PCMPGTB:
+      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
+        return get_lane_signed(x, l, 8) > get_lane_signed(y, l, 8) ? 0xffu : 0u;
+      });
+    case Opcode::M_PCMPGTH:
+      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
+        return get_lane_signed(x, l, 16) > get_lane_signed(y, l, 16) ? 0xffffu : 0u;
+      });
+    default:
+      throw InternalError("packed_binary: unhandled op");
+  }
+}
+
+u64 packed_shift(Opcode op, u64 a, i64 imm) {
+  const int sh = static_cast<int>(imm);
+  switch (op) {
+    case Opcode::M_PSLLH:
+      return map_lanes(a, 0, 16, [sh](int l, u64 x, u64) {
+        return sh >= 16 ? 0 : wrap(static_cast<i64>(get_lane(x, l, 16) << sh), 16);
+      });
+    case Opcode::M_PSRLH:
+      return map_lanes(a, 0, 16, [sh](int l, u64 x, u64) {
+        return sh >= 16 ? 0 : get_lane(x, l, 16) >> sh;
+      });
+    case Opcode::M_PSRAH:
+      return map_lanes(a, 0, 16, [sh](int l, u64 x, u64) {
+        return wrap(get_lane_signed(x, l, 16) >> std::min(sh, 15), 16);
+      });
+    case Opcode::M_PSLLW:
+      return map_lanes(a, 0, 32, [sh](int l, u64 x, u64) {
+        return sh >= 32 ? 0 : wrap(static_cast<i64>(get_lane(x, l, 32) << sh), 32);
+      });
+    case Opcode::M_PSRLW:
+      return map_lanes(a, 0, 32, [sh](int l, u64 x, u64) {
+        return sh >= 32 ? 0 : get_lane(x, l, 32) >> sh;
+      });
+    case Opcode::M_PSRAW:
+      return map_lanes(a, 0, 32, [sh](int l, u64 x, u64) {
+        return wrap(get_lane_signed(x, l, 32) >> std::min(sh, 31), 32);
+      });
+    case Opcode::M_PSLLD:
+      return sh >= 64 ? 0 : a << sh;
+    case Opcode::M_PSRLD:
+      return sh >= 64 ? 0 : a >> sh;
+    case Opcode::M_PSHUFH: {
+      u64 out = 0;
+      for (int l = 0; l < 4; ++l)
+        out = set_lane(out, l, 16, get_lane(a, (imm >> (2 * l)) & 3, 16));
+      return out;
+    }
+    default:
+      throw InternalError("packed_shift: unhandled op");
+  }
+}
+
+/// Sign-preserving 48-bit wrap for accumulator lanes (192-bit accumulator =
+/// 8 x 24-bit byte lanes or 4 x 48-bit halfword lanes; we model both in
+/// 48-bit host lanes).
+i64 acc_wrap(i64 v) { return (v << 16) >> 16; }
+
+}  // namespace
+
+u64 packed_eval(Opcode m_op, u64 a, u64 b, i64 imm) {
+  const OpInfo& info = op_info(m_op);
+  if (info.flags.has_imm || m_op == Opcode::M_PSHUFH) return packed_shift(m_op, a, imm);
+  return packed_binary(m_op, a, b);
+}
+
+ExecInfo execute_op(const Operation& op, const CpuState& st, MainMemory& mem,
+                    WriteBack& wb) {
+  ExecInfo info;
+  wb = WriteBack{};
+  const OpInfo& meta = op.info();
+
+  auto iv = [&](int i) -> u64 { return st.iregs[static_cast<size_t>(op.src[i].id)]; };
+  auto sv = [&](int i) -> u64 { return st.sregs[static_cast<size_t>(op.src[i].id)]; };
+  auto vv = [&](int i) -> const VecValue& {
+    return st.vregs[static_cast<size_t>(op.src[i].id)];
+  };
+  auto av = [&](int i) -> const AccValue& {
+    return st.aregs[static_cast<size_t>(op.src[i].id)];
+  };
+  auto set_i = [&](u64 v) {
+    wb.dst = op.dst;
+    wb.scalar = v;
+  };
+
+  const i32 vl = static_cast<i32>(st.vl);
+
+  // ---- packed µSIMD -----------------------------------------------------
+  if (op.op >= Opcode::M_PADDB && op.op <= Opcode::M_PSHUFH) {
+    wb.dst = op.dst;
+    wb.scalar = packed_eval(op.op, sv(0), meta.nsrc > 1 ? sv(1) : 0, op.imm);
+    return info;
+  }
+  // ---- packed vector -----------------------------------------------------
+  if (op.op >= Opcode::V_PADDB && op.op <= Opcode::V_PSHUFH) {
+    const Opcode base = vector_base_op(op.op);
+    wb.dst = op.dst;
+    const VecValue& a = vv(0);
+    static const VecValue kZero{};
+    const VecValue& b = meta.nsrc > 1 ? vv(1) : kZero;
+    for (i32 e = 0; e < vl; ++e)
+      wb.vec[static_cast<size_t>(e)] = packed_eval(base, a[static_cast<size_t>(e)],
+                                                   b[static_cast<size_t>(e)], op.imm);
+    info.vl = vl;
+    return info;
+  }
+
+  switch (op.op) {
+    // ---- scalar ----------------------------------------------------------
+    case Opcode::MOVI: set_i(static_cast<u64>(op.imm)); break;
+    case Opcode::MOV: set_i(iv(0)); break;
+    case Opcode::ADD: set_i(iv(0) + iv(1)); break;
+    case Opcode::SUB: set_i(iv(0) - iv(1)); break;
+    case Opcode::MUL: set_i(static_cast<u64>(static_cast<i64>(iv(0)) * static_cast<i64>(iv(1)))); break;
+    case Opcode::DIV: {
+      const i64 d = static_cast<i64>(iv(1));
+      if (d == 0) throw SimError("division by zero");
+      set_i(static_cast<u64>(static_cast<i64>(iv(0)) / d));
+      break;
+    }
+    case Opcode::SLL: set_i(iv(1) >= 64 ? 0 : iv(0) << iv(1)); break;
+    case Opcode::SRL: set_i(iv(1) >= 64 ? 0 : iv(0) >> iv(1)); break;
+    case Opcode::SRA: set_i(static_cast<u64>(static_cast<i64>(iv(0)) >> std::min<u64>(iv(1), 63))); break;
+    case Opcode::AND: set_i(iv(0) & iv(1)); break;
+    case Opcode::OR: set_i(iv(0) | iv(1)); break;
+    case Opcode::XOR: set_i(iv(0) ^ iv(1)); break;
+    case Opcode::ADDI: set_i(iv(0) + static_cast<u64>(op.imm)); break;
+    case Opcode::SLLI: set_i(op.imm >= 64 ? 0 : iv(0) << op.imm); break;
+    case Opcode::SRLI: set_i(op.imm >= 64 ? 0 : iv(0) >> op.imm); break;
+    case Opcode::SRAI: set_i(static_cast<u64>(static_cast<i64>(iv(0)) >> std::min<i64>(op.imm, 63))); break;
+    case Opcode::ANDI: set_i(iv(0) & static_cast<u64>(op.imm)); break;
+    case Opcode::ORI: set_i(iv(0) | static_cast<u64>(op.imm)); break;
+    case Opcode::XORI: set_i(iv(0) ^ static_cast<u64>(op.imm)); break;
+    case Opcode::SLT: set_i(static_cast<i64>(iv(0)) < static_cast<i64>(iv(1)) ? 1 : 0); break;
+    case Opcode::SLTU: set_i(iv(0) < iv(1) ? 1 : 0); break;
+    case Opcode::SEQ: set_i(iv(0) == iv(1) ? 1 : 0); break;
+    case Opcode::MIN: set_i(static_cast<u64>(std::min(static_cast<i64>(iv(0)), static_cast<i64>(iv(1))))); break;
+    case Opcode::MAX: set_i(static_cast<u64>(std::max(static_cast<i64>(iv(0)), static_cast<i64>(iv(1))))); break;
+    case Opcode::ABS: {
+      const i64 v = static_cast<i64>(iv(0));
+      set_i(static_cast<u64>(v < 0 ? -v : v));
+      break;
+    }
+
+    // ---- scalar memory ----------------------------------------------------
+    case Opcode::LDB:
+    case Opcode::LDBU:
+    case Opcode::LDH:
+    case Opcode::LDHU:
+    case Opcode::LDW:
+    case Opcode::LDD: {
+      static constexpr struct { Opcode op; int bytes; bool sign; } kLd[] = {
+          {Opcode::LDB, 1, true},  {Opcode::LDBU, 1, false}, {Opcode::LDH, 2, true},
+          {Opcode::LDHU, 2, false}, {Opcode::LDW, 4, true},  {Opcode::LDD, 8, false}};
+      int bytes = 8;
+      bool sign = false;
+      for (const auto& d : kLd)
+        if (d.op == op.op) {
+          bytes = d.bytes;
+          sign = d.sign;
+        }
+      const Addr a = static_cast<Addr>(iv(0) + static_cast<u64>(op.imm));
+      set_i(mem.load(a, bytes, sign));
+      info.is_mem = true;
+      info.mem_addr = a;
+      break;
+    }
+    case Opcode::STB:
+    case Opcode::STH:
+    case Opcode::STW:
+    case Opcode::STD: {
+      const int bytes = op.op == Opcode::STB ? 1 : op.op == Opcode::STH ? 2
+                        : op.op == Opcode::STW ? 4 : 8;
+      const Addr a = static_cast<Addr>(iv(1) + static_cast<u64>(op.imm));
+      mem.store(a, bytes, iv(0));
+      info.is_mem = true;
+      info.mem_store = true;
+      info.mem_addr = a;
+      break;
+    }
+
+    // ---- branches ----------------------------------------------------------
+    case Opcode::BEQ: info.branch_taken = iv(0) == iv(1); break;
+    case Opcode::BNE: info.branch_taken = iv(0) != iv(1); break;
+    case Opcode::BLT: info.branch_taken = static_cast<i64>(iv(0)) < static_cast<i64>(iv(1)); break;
+    case Opcode::BGE: info.branch_taken = static_cast<i64>(iv(0)) >= static_cast<i64>(iv(1)); break;
+    case Opcode::BLTU: info.branch_taken = iv(0) < iv(1); break;
+    case Opcode::BGEU: info.branch_taken = iv(0) >= iv(1); break;
+    case Opcode::JMP: info.branch_taken = true; break;
+    case Opcode::HALT: info.halted = true; break;
+
+    // ---- µSIMD support ------------------------------------------------------
+    case Opcode::LDQS: {
+      const Addr a = static_cast<Addr>(iv(0) + static_cast<u64>(op.imm));
+      wb.dst = op.dst;
+      wb.scalar = mem.load(a, 8, false);
+      info.is_mem = true;
+      info.mem_addr = a;
+      break;
+    }
+    case Opcode::STQS: {
+      const Addr a = static_cast<Addr>(iv(1) + static_cast<u64>(op.imm));
+      mem.store(a, 8, sv(0));
+      info.is_mem = true;
+      info.mem_store = true;
+      info.mem_addr = a;
+      break;
+    }
+    case Opcode::MOVIS: wb.dst = op.dst; wb.scalar = static_cast<u64>(op.imm); break;
+    case Opcode::MOVI2S: wb.dst = op.dst; wb.scalar = iv(0); break;
+    case Opcode::MOVS2I: set_i(sv(0)); break;
+    case Opcode::PEXTRH: set_i(get_lane(sv(0), static_cast<int>(op.imm), 16)); break;
+    case Opcode::PINSRH:
+      wb.dst = op.dst;
+      wb.scalar = set_lane(sv(0), static_cast<int>(op.imm), 16, iv(1));
+      break;
+
+    // ---- vector support -------------------------------------------------------
+    case Opcode::VLD: {
+      const Addr base = static_cast<Addr>(iv(0) + static_cast<u64>(op.imm));
+      wb.dst = op.dst;
+      for (i32 e = 0; e < vl; ++e)
+        wb.vec[static_cast<size_t>(e)] =
+            mem.load(static_cast<Addr>(base + static_cast<u64>(e) * static_cast<u64>(st.vs)), 8, false);
+      info.is_mem = true;
+      info.mem_vector = true;
+      info.mem_addr = base;
+      info.mem_stride = st.vs;
+      info.mem_vl = vl;
+      info.vl = vl;
+      break;
+    }
+    case Opcode::VST: {
+      const Addr base = static_cast<Addr>(iv(1) + static_cast<u64>(op.imm));
+      const VecValue& v = vv(0);
+      for (i32 e = 0; e < vl; ++e)
+        mem.store(static_cast<Addr>(base + static_cast<u64>(e) * static_cast<u64>(st.vs)), 8,
+                  v[static_cast<size_t>(e)]);
+      info.is_mem = true;
+      info.mem_store = true;
+      info.mem_vector = true;
+      info.mem_addr = base;
+      info.mem_stride = st.vs;
+      info.mem_vl = vl;
+      info.vl = vl;
+      break;
+    }
+    case Opcode::VSADACC: {
+      wb.dst = op.dst;
+      wb.acc = av(2);
+      const VecValue& a = vv(0);
+      const VecValue& b = vv(1);
+      for (i32 e = 0; e < vl; ++e)
+        for (int l = 0; l < 8; ++l) {
+          const i64 x = static_cast<i64>(get_lane(a[static_cast<size_t>(e)], l, 8));
+          const i64 y = static_cast<i64>(get_lane(b[static_cast<size_t>(e)], l, 8));
+          wb.acc[static_cast<size_t>(l)] =
+              acc_wrap(wb.acc[static_cast<size_t>(l)] + (x > y ? x - y : y - x));
+        }
+      info.vl = vl;
+      break;
+    }
+    case Opcode::VMACH: {
+      wb.dst = op.dst;
+      wb.acc = av(2);
+      const VecValue& a = vv(0);
+      const VecValue& b = vv(1);
+      for (i32 e = 0; e < vl; ++e)
+        for (int l = 0; l < 4; ++l) {
+          const i64 x = get_lane_signed(a[static_cast<size_t>(e)], l, 16);
+          const i64 y = get_lane_signed(b[static_cast<size_t>(e)], l, 16);
+          wb.acc[static_cast<size_t>(l)] = acc_wrap(wb.acc[static_cast<size_t>(l)] + x * y);
+        }
+      info.vl = vl;
+      break;
+    }
+    case Opcode::CLRACC: wb.dst = op.dst; break;  // acc zero-initialized in wb
+    case Opcode::SUMACB: {
+      const AccValue& a = av(0);
+      i64 sum = 0;
+      for (int l = 0; l < 8; ++l) sum += a[static_cast<size_t>(l)];
+      set_i(static_cast<u64>(sum));
+      break;
+    }
+    case Opcode::SUMACH: {
+      const AccValue& a = av(0);
+      i64 sum = 0;
+      for (int l = 0; l < 4; ++l) sum += a[static_cast<size_t>(l)];
+      set_i(static_cast<u64>(sum));
+      break;
+    }
+    case Opcode::SETVLI: wb.sets_vl = true; wb.special = op.imm; break;
+    case Opcode::SETVL: wb.sets_vl = true; wb.special = static_cast<i64>(iv(0)); break;
+    case Opcode::SETVSI: wb.sets_vs = true; wb.special = op.imm; break;
+    case Opcode::SETVS: wb.sets_vs = true; wb.special = static_cast<i64>(iv(0)); break;
+
+    default:
+      throw InternalError(std::string("execute_op: unhandled ") + meta.name);
+  }
+  return info;
+}
+
+void apply_writeback(const WriteBack& wb, CpuState& st) {
+  if (wb.sets_vl) {
+    if (wb.special < 1 || wb.special > 16) throw SimError("VL out of range");
+    st.vl = wb.special;
+    return;
+  }
+  if (wb.sets_vs) {
+    st.vs = wb.special;
+    return;
+  }
+  if (!wb.dst.valid()) return;
+  switch (wb.dst.cls) {
+    case RegClass::kInt: st.iregs[static_cast<size_t>(wb.dst.id)] = wb.scalar; break;
+    case RegClass::kSimd: st.sregs[static_cast<size_t>(wb.dst.id)] = wb.scalar; break;
+    case RegClass::kVreg: st.vregs[static_cast<size_t>(wb.dst.id)] = wb.vec; break;
+    case RegClass::kAcc: st.aregs[static_cast<size_t>(wb.dst.id)] = wb.acc; break;
+    default: throw InternalError("bad writeback class");
+  }
+}
+
+}  // namespace vuv

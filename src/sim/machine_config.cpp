@@ -1,0 +1,82 @@
+#include "sim/machine_config.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vuv {
+
+const char* isa_level_name(IsaLevel lvl) {
+  switch (lvl) {
+    case IsaLevel::kScalar: return "VLIW";
+    case IsaLevel::kMusimd: return "+uSIMD";
+    case IsaLevel::kVector: return "+Vector";
+  }
+  return "?";
+}
+
+namespace {
+
+i32 int_regs_for(i32 width) { return width == 2 ? 64 : (width == 4 ? 96 : 128); }
+
+i32 l1_ports_for(i32 width) { return width == 2 ? 1 : (width == 4 ? 2 : 3); }
+
+void check_width(i32 width, bool allow8) {
+  VUV_CHECK(width == 2 || width == 4 || (allow8 && width == 8),
+            "unsupported issue width");
+}
+
+}  // namespace
+
+MachineConfig MachineConfig::vliw(i32 width) {
+  check_width(width, /*allow8=*/true);
+  MachineConfig c;
+  c.name = "VLIW-" + std::to_string(width) + "w";
+  c.isa = IsaLevel::kScalar;
+  c.issue_width = width;
+  c.int_regs = int_regs_for(width);
+  c.int_units = width;
+  c.l1_ports = l1_ports_for(width);
+  return c;
+}
+
+MachineConfig MachineConfig::musimd(i32 width) {
+  check_width(width, /*allow8=*/true);
+  MachineConfig c = vliw(width);
+  c.name = "uSIMD-" + std::to_string(width) + "w";
+  c.isa = IsaLevel::kMusimd;
+  c.simd_regs = int_regs_for(width);
+  c.simd_units = width;
+  return c;
+}
+
+MachineConfig MachineConfig::vector1(i32 width) {
+  check_width(width, /*allow8=*/false);
+  MachineConfig c;
+  c.name = "Vector1-" + std::to_string(width) + "w";
+  c.isa = IsaLevel::kVector;
+  c.issue_width = width;
+  c.int_regs = int_regs_for(width);
+  c.int_units = width;
+  c.vec_regs = width == 2 ? 20 : 32;
+  c.acc_regs = width == 2 ? 4 : 6;
+  c.vec_units = width == 2 ? 1 : 2;
+  c.l1_ports = 1;
+  c.l2_ports = 1;
+  return c;
+}
+
+MachineConfig MachineConfig::vector2(i32 width) {
+  MachineConfig c = vector1(width);
+  c.name = "Vector2-" + std::to_string(width) + "w";
+  c.vec_units = width == 2 ? 2 : 4;
+  c.l1_ports = width == 2 ? 1 : 2;
+  return c;
+}
+
+std::vector<MachineConfig> MachineConfig::all_table2() {
+  return {vliw(2),    vliw(4),    vliw(8),    musimd(2),  musimd(4),
+          musimd(8),  vector1(2), vector1(4), vector2(2), vector2(4)};
+}
+
+}  // namespace vuv

@@ -1,0 +1,72 @@
+// Integration tests: the jpeg_enc / jpeg_dec IR applications must produce
+// bit-exact golden outputs on every ISA variant and machine configuration.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace vuv {
+namespace {
+
+struct Case {
+  App app;
+  MachineConfig cfg;
+};
+
+class JpegApps : public ::testing::TestWithParam<int> {};
+
+TEST(JpegApps, EncScalarVerifies) {
+  const AppResult r = run_app(App::kJpegEnc, MachineConfig::vliw(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+  EXPECT_GT(r.sim.cycles, 0);
+}
+
+TEST(JpegApps, EncMusimdVerifies) {
+  const AppResult r = run_app(App::kJpegEnc, MachineConfig::musimd(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(JpegApps, EncVectorVerifies) {
+  const AppResult r = run_app(App::kJpegEnc, MachineConfig::vector1(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(JpegApps, DecScalarVerifies) {
+  const AppResult r = run_app(App::kJpegDec, MachineConfig::vliw(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(JpegApps, DecMusimdVerifies) {
+  const AppResult r = run_app(App::kJpegDec, MachineConfig::musimd(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(JpegApps, DecVectorVerifies) {
+  const AppResult r = run_app(App::kJpegDec, MachineConfig::vector2(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(JpegApps, VectorRegionsSpeedUpOverScalar) {
+  const AppResult sc = run_app(App::kJpegEnc, MachineConfig::vliw(2), true);
+  const AppResult mu = run_app(App::kJpegEnc, MachineConfig::musimd(2), true);
+  const AppResult ve = run_app(App::kJpegEnc, MachineConfig::vector2(2), true);
+  ASSERT_TRUE(sc.verified && mu.verified && ve.verified);
+  // Vector regions: µSIMD beats scalar, vector beats µSIMD (paper Fig. 5).
+  EXPECT_LT(mu.sim.vector_cycles(), sc.sim.vector_cycles());
+  EXPECT_LT(ve.sim.vector_cycles(), mu.sim.vector_cycles());
+  // Scalar regions are broadly comparable across ISAs (same code).
+  EXPECT_LT(std::abs(static_cast<double>(mu.sim.scalar_cycles()) -
+                     static_cast<double>(sc.sim.scalar_cycles())) /
+                static_cast<double>(sc.sim.scalar_cycles()),
+            0.2);
+}
+
+TEST(JpegApps, OperationCountShrinksWithDlp) {
+  const AppResult sc = run_app(App::kJpegEnc, MachineConfig::vliw(2), true);
+  const AppResult mu = run_app(App::kJpegEnc, MachineConfig::musimd(2), true);
+  const AppResult ve = run_app(App::kJpegEnc, MachineConfig::vector2(2), true);
+  EXPECT_LT(mu.sim.total_ops(), sc.sim.total_ops());
+  EXPECT_LT(ve.sim.total_ops(), mu.sim.total_ops());
+}
+
+}  // namespace
+}  // namespace vuv

@@ -1,0 +1,60 @@
+// Integration tests: mpeg2_enc / mpeg2_dec bit-exactness on all variants.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace vuv {
+namespace {
+
+TEST(Mpeg2Apps, EncScalarVerifies) {
+  const AppResult r = run_app(App::kMpeg2Enc, MachineConfig::vliw(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(Mpeg2Apps, EncMusimdVerifies) {
+  const AppResult r = run_app(App::kMpeg2Enc, MachineConfig::musimd(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(Mpeg2Apps, EncVectorVerifies) {
+  const AppResult r = run_app(App::kMpeg2Enc, MachineConfig::vector2(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(Mpeg2Apps, DecScalarVerifies) {
+  const AppResult r = run_app(App::kMpeg2Dec, MachineConfig::vliw(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(Mpeg2Apps, DecMusimdVerifies) {
+  const AppResult r = run_app(App::kMpeg2Dec, MachineConfig::musimd(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(Mpeg2Apps, DecVectorVerifies) {
+  const AppResult r = run_app(App::kMpeg2Dec, MachineConfig::vector1(2));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST(Mpeg2Apps, MotionEstimationDominatesAndSpeedsUp) {
+  const AppResult sc = run_app(App::kMpeg2Enc, MachineConfig::vliw(2), true);
+  const AppResult ve = run_app(App::kMpeg2Enc, MachineConfig::vector2(2), true);
+  ASSERT_TRUE(sc.verified && ve.verified);
+  // ME (region 1) is the dominant vector region of mpeg2_enc in the paper.
+  ASSERT_GE(sc.sim.regions.size(), 4u);
+  EXPECT_GT(sc.sim.regions[1].cycles, sc.sim.regions[2].cycles);
+  EXPECT_LT(ve.sim.regions[1].cycles, sc.sim.regions[1].cycles / 4);
+}
+
+TEST(Mpeg2Apps, NonUnitStridePenaltyUnderRealisticMemory) {
+  // Paper §5.1: mpeg2_enc vector regions degrade heavily with realistic
+  // memory because ME loads use the image width as stride.
+  const AppResult perfect = run_app(App::kMpeg2Enc, MachineConfig::vector2(2), true);
+  const AppResult real = run_app(App::kMpeg2Enc, MachineConfig::vector2(2), false);
+  ASSERT_TRUE(perfect.verified && real.verified);
+  EXPECT_GT(real.sim.vector_cycles(), perfect.sim.vector_cycles() * 3 / 2);
+  EXPECT_GT(real.sim.mem.vector_nonunit_stride, 0);
+}
+
+}  // namespace
+}  // namespace vuv

@@ -1,0 +1,125 @@
+// Property tests of the golden bit I/O (round trips, gamma codes,
+// magnitude coding) and unit tests of the set-associative cache model.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "media/bitio.hpp"
+#include "mem/cache.hpp"
+
+namespace vuv {
+namespace {
+
+class BitIoRoundTrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BitIoRoundTrip, RandomFieldsRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::pair<u32, int>> fields;
+  BitWriter bw;
+  for (int i = 0; i < 500; ++i) {
+    const int n = 1 + static_cast<int>(rng.below(24));
+    const u32 v = rng.next_u32() & ((u32{1} << n) - 1);
+    fields.emplace_back(v, n);
+    bw.put(v, n);
+  }
+  BitReader br(bw.finish());
+  for (const auto& [v, n] : fields) EXPECT_EQ(br.get(n), v);
+}
+
+TEST_P(BitIoRoundTrip, GammaCodesRoundTrip) {
+  Rng rng(GetParam() + 1000);
+  std::vector<u32> values;
+  BitWriter bw;
+  for (int i = 0; i < 300; ++i) {
+    const u32 v = 1 + rng.below(100000);
+    values.push_back(v);
+    put_gamma(bw, v);
+  }
+  BitReader br(bw.finish());
+  for (u32 v : values) EXPECT_EQ(get_gamma(br), v);
+}
+
+TEST_P(BitIoRoundTrip, MagnitudeCodingRoundTrips) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 500; ++i) {
+    const i32 v = rng.range(-20000, 20000);
+    const int size = bit_size(v);
+    EXPECT_EQ(magnitude_decode(magnitude_bits(v, size), size), v) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoRoundTrip, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BitIo, BitSizeCategories) {
+  EXPECT_EQ(bit_size(0), 0);
+  EXPECT_EQ(bit_size(1), 1);
+  EXPECT_EQ(bit_size(-1), 1);
+  EXPECT_EQ(bit_size(255), 8);
+  EXPECT_EQ(bit_size(256), 9);
+  EXPECT_EQ(bit_size(-32768), 16);
+}
+
+TEST(BitIo, UnderrunThrows) {
+  BitReader br(std::vector<u8>{0xff});
+  br.get(8);
+  EXPECT_THROW(br.get(1), SimError);
+}
+
+// ---- cache model ---------------------------------------------------------------
+
+TEST(CacheModel, HitAfterFill) {
+  Cache c(1024, 2, 64);
+  EXPECT_FALSE(c.access(0x100, false));
+  c.fill(0x100, false);
+  EXPECT_TRUE(c.access(0x100, false));
+  EXPECT_TRUE(c.access(0x13f, false));  // same line
+  EXPECT_FALSE(c.probe(0x140));         // next line
+}
+
+TEST(CacheModel, LruEvictsOldestWay) {
+  Cache c(2 * 64 * 2, 2, 64);  // 2 sets, 2 ways
+  // Three lines mapping to the same set (set = line_number % 2).
+  const Addr a = 0 * 64, b = 2 * 64, d = 4 * 64;
+  c.fill(a, false);
+  c.fill(b, false);
+  c.access(a, false);  // a most recent
+  c.fill(d, false);    // evicts b
+  EXPECT_TRUE(c.probe(a));
+  EXPECT_FALSE(c.probe(b));
+  EXPECT_TRUE(c.probe(d));
+  EXPECT_EQ(c.evictions(), 1);
+}
+
+TEST(CacheModel, DirtyTrackingThroughInvalidate) {
+  Cache c(1024, 2, 64);
+  c.fill(0x200, false);
+  EXPECT_FALSE(c.probe_dirty(0x200));
+  c.access(0x200, /*write=*/true);
+  EXPECT_TRUE(c.probe_dirty(0x200));
+  EXPECT_TRUE(c.invalidate(0x200));   // was dirty
+  EXPECT_FALSE(c.invalidate(0x200));  // already gone
+}
+
+class CacheGeometry : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(CacheGeometry, FillThenProbeWholeCapacity) {
+  const auto [size, assoc, line] = GetParam();
+  Cache c(size, assoc, line);
+  const int lines = size / line;
+  for (int i = 0; i < lines; ++i) c.fill(static_cast<Addr>(i * line), false);
+  // A cache must hold exactly its capacity with a perfect-placement walk.
+  int present = 0;
+  for (int i = 0; i < lines; ++i)
+    present += c.probe(static_cast<Addr>(i * line)) ? 1 : 0;
+  EXPECT_EQ(present, lines);
+  EXPECT_EQ(c.evictions(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(16 * 1024, 4, 64),
+                      std::make_tuple(256 * 1024, 8, 64),
+                      std::make_tuple(1024, 1, 32),
+                      std::make_tuple(4096, 4, 128)));
+
+}  // namespace
+}  // namespace vuv

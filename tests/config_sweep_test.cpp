@@ -1,0 +1,91 @@
+// Parameterized sweep: every Table-2 configuration runs its best code
+// variant of representative applications and must verify bit-exactly, under
+// both perfect and realistic memory. Also checks cross-configuration
+// invariants (dynamic operation counts are ISA properties, independent of
+// issue width; wider machines never run slower).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace vuv {
+namespace {
+
+struct SweepCase {
+  int cfg_index;
+  bool perfect;
+};
+
+class ConfigSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ConfigSweep, GsmDecVerifiesEverywhere) {
+  const auto cfgs = MachineConfig::all_table2();
+  const SweepCase c = GetParam();
+  const AppResult r =
+      run_app(App::kGsmDec, cfgs[static_cast<size_t>(c.cfg_index)], c.perfect);
+  EXPECT_TRUE(r.verified) << r.config << ": " << r.verify_error;
+  EXPECT_GT(r.sim.cycles, 0);
+}
+
+TEST_P(ConfigSweep, JpegDecVerifiesEverywhere) {
+  const auto cfgs = MachineConfig::all_table2();
+  const SweepCase c = GetParam();
+  const AppResult r =
+      run_app(App::kJpegDec, cfgs[static_cast<size_t>(c.cfg_index)], c.perfect);
+  EXPECT_TRUE(r.verified) << r.config << ": " << r.verify_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTable2, ConfigSweep,
+    ::testing::Values(SweepCase{0, true}, SweepCase{1, true}, SweepCase{2, true},
+                      SweepCase{3, true}, SweepCase{4, true}, SweepCase{5, true},
+                      SweepCase{6, true}, SweepCase{7, true}, SweepCase{8, true},
+                      SweepCase{9, true}, SweepCase{0, false}, SweepCase{3, false},
+                      SweepCase{6, false}, SweepCase{9, false}));
+
+TEST(ConfigInvariants, OpCountIndependentOfIssueWidth) {
+  // Dynamic operation counts are a property of the ISA variant, not of the
+  // machine width (the same code executes on every width).
+  const AppResult a = run_app(App::kGsmEnc, MachineConfig::musimd(2), true);
+  const AppResult b = run_app(App::kGsmEnc, MachineConfig::musimd(8), true);
+  EXPECT_EQ(a.sim.total_ops(), b.sim.total_ops());
+  EXPECT_EQ(a.sim.total_uops(), b.sim.total_uops());
+}
+
+TEST(ConfigInvariants, WiderIssueNeverSlowerPerfectMemory) {
+  for (App app : {App::kJpegDec, App::kGsmDec}) {
+    const AppResult w2 = run_app(app, MachineConfig::musimd(2), true);
+    const AppResult w4 = run_app(app, MachineConfig::musimd(4), true);
+    const AppResult w8 = run_app(app, MachineConfig::musimd(8), true);
+    EXPECT_LE(w4.sim.cycles, w2.sim.cycles) << app_name(app);
+    EXPECT_LE(w8.sim.cycles, w4.sim.cycles) << app_name(app);
+  }
+}
+
+TEST(ConfigInvariants, PerfectMemoryNeverSlowerThanRealistic) {
+  for (App app : {App::kJpegEnc, App::kMpeg2Dec, App::kGsmEnc}) {
+    const AppResult p = run_app(app, MachineConfig::vector2(2), true);
+    const AppResult r = run_app(app, MachineConfig::vector2(2), false);
+    EXPECT_LE(p.sim.cycles, r.sim.cycles) << app_name(app);
+  }
+}
+
+TEST(ConfigInvariants, Vector2NeverSlowerThanVector1) {
+  for (App app : {App::kJpegEnc, App::kGsmEnc}) {
+    const AppResult v1 = run_app(app, MachineConfig::vector1(2), true);
+    const AppResult v2 = run_app(app, MachineConfig::vector2(2), true);
+    EXPECT_LE(v2.sim.cycles, v1.sim.cycles) << app_name(app);
+  }
+}
+
+TEST(ConfigInvariants, ChainingHelpsVectorRegions) {
+  MachineConfig with = MachineConfig::vector2(2);
+  MachineConfig without = MachineConfig::vector2(2);
+  without.chaining = false;
+  const AppResult a = run_app(App::kMpeg2Enc, with, true);
+  const AppResult b = run_app(App::kMpeg2Enc, without, true);
+  ASSERT_TRUE(a.verified && b.verified);
+  EXPECT_LT(a.sim.vector_cycles(), b.sim.vector_cycles());
+}
+
+}  // namespace
+}  // namespace vuv

@@ -10,7 +10,8 @@ using namespace vuv::bench;
 int main() {
   header("Ablation — vector lanes / L2 port width / chaining (Vector2-2w)");
 
-  Sweep sweep;
+  BenchJson json("ablation_lanes");
+  Sweep sweep(json);
   const AppResult* base[6];
   for (size_t i = 0; i < kApps.size(); ++i)
     base[i] = &sweep.get(kApps[i], MachineConfig::vliw(2), true);

@@ -9,7 +9,8 @@ using namespace vuv::bench;
 int main() {
   header("Ablation — stride-aware scheduling and memory disambiguation");
 
-  Sweep sweep;
+  BenchJson json("ablation_memory");
+  Sweep sweep(json);
   {
     TextTable t({"mpeg2_enc vector regions", "cycles", "vs stride-one sched"});
     MachineConfig naive = MachineConfig::vector2(2);
@@ -22,6 +23,8 @@ int main() {
                "1.00"});
     t.add_row({"stride-aware scheduling", std::to_string(ra.sim.vector_cycles()),
                TextTable::num(ratio(rn.sim.vector_cycles(), ra.sim.vector_cycles()))});
+    json.add("stride_aware_speedup",
+             ratio(rn.sim.vector_cycles(), ra.sim.vector_cycles()));
     std::cout << t.to_string()
               << "\nThe paper schedules every vector access as stride-one and "
                  "stalls at run time\n(§3.3). Interestingly, stride-aware "
@@ -45,6 +48,7 @@ int main() {
     avg = ratio(cn, cw);
     t.add_row({"conservative memory deps", std::to_string(cn), "1.00"});
     t.add_row({"alias-group disambiguation", std::to_string(cw), TextTable::num(avg)});
+    json.add("disambiguation_speedup", avg);
     std::cout << t.to_string()
               << "\nPaper: interprocedural disambiguation gives the scalar codes "
                  "1.32X on the 8-issue\nmachine. Our alias-group model captures "

@@ -8,7 +8,8 @@ using namespace vuv::bench;
 int main() {
   header("Figure 1 — scalar/vector region scalability on uSIMD-VLIW 2/4/8w");
 
-  Sweep sweep;
+  BenchJson json("fig1_scalability");
+  Sweep sweep(json);
   const MachineConfig cfgs[] = {MachineConfig::musimd(2), MachineConfig::musimd(4),
                                 MachineConfig::musimd(8)};
   TextTable t({"Benchmark", "regions", "2w", "4w", "8w"});
@@ -39,5 +40,8 @@ int main() {
             << TextTable::num(avg_sc8)
             << "X (paper 1.28X); vector regions 2->8w " << TextTable::num(avg_vec8)
             << "X (paper 2.49X, up to 3.19X).\n";
+  json.add("avg_scalar_speedup_2to4w", avg_sc4);
+  json.add("avg_scalar_speedup_2to8w", avg_sc8);
+  json.add("avg_vector_speedup_2to8w", avg_vec8);
   return 0;
 }

@@ -8,7 +8,8 @@ using namespace vuv::bench;
 int main() {
   header("Figure 5a — vector-region speed-up, perfect memory");
 
-  Sweep sweep;
+  BenchJson json("fig5a_vecregions_perfect");
+  Sweep sweep(json);
   const auto cfgs = MachineConfig::all_table2();
   TextTable t({"Benchmark", "VLIW 2/4/8w", "+uSIMD 2/4/8w", "+Vector1 2/4w",
                "+Vector2 2/4w"});
@@ -37,5 +38,8 @@ int main() {
             << "X  (paper avg 1.7X, up to 2.6X)\n"
             << "  4w Vector2 vs 8w uSIMD : " << TextTable::num(v2_4w_vs_mu8w)
             << "X  (paper avg 2.3X, up to 4.0X)\n";
+  json.add("v2_2w_vs_musimd_2w", v2_2w_vs_mu2w);
+  json.add("v2_2w_vs_musimd_8w", v2_2w_vs_mu8w);
+  json.add("v2_4w_vs_musimd_8w", v2_4w_vs_mu8w);
   return 0;
 }

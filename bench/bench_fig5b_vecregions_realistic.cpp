@@ -10,7 +10,8 @@ using namespace vuv::bench;
 int main() {
   header("Figure 5b — vector-region speed-up, realistic memory");
 
-  Sweep sweep;
+  BenchJson json("fig5b_vecregions_realistic");
+  Sweep sweep(json);
   const auto cfgs = MachineConfig::all_table2();
   TextTable t({"Benchmark", "VLIW 2/4/8w", "+uSIMD 2/4/8w", "+Vector1 2/4w",
                "+Vector2 2/4w", "Vector2-2w degradation"});
@@ -24,14 +25,19 @@ int main() {
         100.0 * (ratio(sweep.get(kApps[i], cfgs[8], false).sim.vector_cycles(),
                        sweep.get(kApps[i], cfgs[8], true).sim.vector_cycles()) -
                  1.0);
+    json.add(std::string("degradation_pct.") + kAppLabels[i], deg);
+    // Built up with += to dodge GCC 12's spurious -Wrestrict on
+    // operator+(const char*, std::string&&) (GCC PR105651).
+    std::string degs = "+";
+    degs += TextTable::num(deg, 1);
+    degs += "%";
     t.add_row({kAppLabels[i],
                TextTable::num(su(0)) + " / " + TextTable::num(su(1)) + " / " +
                    TextTable::num(su(2)),
                TextTable::num(su(3)) + " / " + TextTable::num(su(4)) + " / " +
                    TextTable::num(su(5)),
                TextTable::num(su(6)) + " / " + TextTable::num(su(7)),
-               TextTable::num(su(8)) + " / " + TextTable::num(su(9)),
-               "+" + TextTable::num(deg, 1) + "%"});
+               TextTable::num(su(8)) + " / " + TextTable::num(su(9)), degs});
   }
   std::cout << t.to_string()
             << "\nPaper: mpeg2_enc vector regions degrade close to 200% under "

@@ -20,7 +20,8 @@ int main() {
   const double paper_avg[10] = {1.00, 1.34, 1.50, 1.47, 1.94,
                                 2.15, 1.79, 2.15, 1.80, 2.22};
 
-  Sweep sweep;
+  BenchJson json("fig6_applications");
+  Sweep sweep(json);
   const auto cfgs = MachineConfig::all_table2();
   TextTable t({"Benchmark", "Config", "Paper", "Measured"});
   std::array<double, 10> avg{};
@@ -34,9 +35,11 @@ int main() {
                  TextTable::num(paper[i][c]), TextTable::num(su)});
     }
   }
-  for (size_t c = 0; c < cfgs.size(); ++c)
+  for (size_t c = 0; c < cfgs.size(); ++c) {
     t.add_row({c == 0 ? "AVERAGE" : "", cfgs[c].name,
                TextTable::num(paper_avg[c]), TextTable::num(avg[c])});
+    json.add("avg_speedup." + cfgs[c].name, avg[c]);
+  }
   std::cout << t.to_string()
             << "\nKey shape checks: 4w Vector2 ~ matches/exceeds 8w uSIMD; "
                "mpeg2_enc gains most;\ngsm_dec is insensitive (0.9% "

@@ -9,7 +9,8 @@ using namespace vuv::bench;
 int main() {
   header("Figure 7 — normalized dynamic operation count by region");
 
-  Sweep sweep;
+  BenchJson json("fig7_opcount");
+  Sweep sweep(json);
   TextTable t({"Benchmark", "ISA", "R0", "R1", "R2", "R3", "Total"});
   double vec_region_reduction = 0, app_reduction = 0, uops_per_op_max = 0,
          uops_per_op_avg = 0;
@@ -63,5 +64,9 @@ int main() {
             << " (paper avg 38.78, up to 81.10 — on full-size inputs with\n"
                "longer vectors; our reduced inputs cap VL at 16 and batches "
                "at 4-8 blocks).\n";
+  json.add("vector_region_op_reduction", vec_region_reduction);
+  json.add("app_op_reduction", app_reduction);
+  json.add("vec_uops_per_op_avg", uops_per_op_avg);
+  json.add("vec_uops_per_op_max", uops_per_op_max);
   return 0;
 }

@@ -9,7 +9,8 @@ int main() {
   header("Table 1 — vector regions and vectorization percentage (2-issue uSIMD)");
   const double paper[] = {29.56, 18.46, 52.29, 23.11, 18.66, 0.91};
 
-  Sweep sweep;
+  BenchJson json("table1_regions");
+  Sweep sweep(json);
   const MachineConfig cfg = MachineConfig::musimd(2);
   TextTable t({"Benchmark", "%Vect paper", "%Vect measured", "Vector regions"});
   double avg_p = 0, avg_m = 0;
@@ -17,6 +18,7 @@ int main() {
     const AppResult& r = sweep.get(kApps[i], cfg, /*perfect=*/false);
     const double pct = 100.0 * static_cast<double>(r.sim.vector_cycles()) /
                        static_cast<double>(r.sim.cycles);
+    json.add(std::string("pct_vectorized.") + kAppLabels[i], pct);
     std::string regions;
     for (size_t k = 1; k < r.sim.regions.size(); ++k) {
       if (!regions.empty()) regions += "; ";
@@ -27,6 +29,7 @@ int main() {
     avg_m += pct / 6.0;
   }
   t.add_row({"AVERAGE", TextTable::num(avg_p), TextTable::num(avg_m), ""});
+  json.add("pct_vectorized.average", avg_m);
   std::cout << t.to_string()
             << "\nPaper: ~24% average vectorization across the suite.\n";
   return 0;

@@ -33,7 +33,8 @@ int main() {
       {"  +uSIMD", MachineConfig::musimd(8), {1.84, 1.29, 4.47, 12.07, 6.76, 2.18, 3.38, 2.15}},
   };
 
-  Sweep sweep;
+  BenchJson json("table3_opc");
+  Sweep sweep(json);
   // Baselines: the 2-issue VLIW per app.
   std::vector<const AppResult*> base;
   for (App a : kApps) base.push_back(&sweep.get(a, MachineConfig::vliw(2), false));
@@ -67,6 +68,10 @@ int main() {
     t.add_row({"", "measured", TextTable::num(sc_opc), TextTable::num(sc_sp),
                TextTable::num(v_opc), TextTable::num(v_uopc), TextTable::num(v_sp),
                TextTable::num(a_opc), TextTable::num(a_uopc), TextTable::num(a_sp)});
+    json.add("app_opc." + row.cfg.name, a_opc);
+    json.add("app_uopc." + row.cfg.name, a_uopc);
+    json.add("app_speedup." + row.cfg.name, a_sp);
+    json.add("vector_uopc." + row.cfg.name, v_uopc);
   }
   std::cout << t.to_string()
             << "\nPaper headline: Vector ISA reaches the highest uOPC in vector "

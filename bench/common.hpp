@@ -1,8 +1,12 @@
 // Shared sweep driver for the paper-reproduction benchmark binaries.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "common/table.hpp"
 #include "core/experiment.hpp"
@@ -15,9 +19,52 @@ inline const std::vector<App> kApps = all_apps();
 inline const char* kAppLabels[] = {"JPEG_ENC",  "JPEG_DEC", "MPEG2_ENC",
                                    "MPEG2_DEC", "GSM_ENC",  "GSM_DEC"};
 
-/// Run (and cache) one app on one configuration.
+/// Collects named scalar metrics and writes them as BENCH_<name>.json on
+/// destruction, so the perf trajectory across PRs has machine-readable data.
+/// Output directory: $VUV_BENCH_DIR if set, else the working directory.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void add(const std::string& key, double v) {
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    metrics_.emplace_back(key, os.str());
+  }
+  void add(const std::string& key, i64 v) {
+    metrics_.emplace_back(key, std::to_string(v));
+  }
+
+  ~BenchJson() {
+    const char* dir = std::getenv("VUV_BENCH_DIR");
+    const std::string path =
+        (dir ? std::string(dir) + "/" : std::string()) + "BENCH_" + name_ + ".json";
+    std::ofstream f(path);
+    if (!f) {
+      std::cerr << "BenchJson: cannot write " << path << "\n";
+      return;
+    }
+    f << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+    for (size_t i = 0; i < metrics_.size(); ++i)
+      f << (i ? "," : "") << "\n    \"" << metrics_[i].first
+        << "\": " << metrics_[i].second;
+    f << "\n  }\n}\n";
+    std::cout << "[bench-json] wrote " << path << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
+
+/// Run (and cache) one app on one configuration. Every simulated run
+/// records its cycle count into the bench's JSON automatically.
 class Sweep {
  public:
+  explicit Sweep(BenchJson& json) : json_(&json) {}
+
   const AppResult& get(App app, const MachineConfig& cfg, bool perfect) {
     const std::string key =
         std::string(app_name(app)) + "|" + cfg.name + "|" + (perfect ? "p" : "r");
@@ -29,11 +76,13 @@ class Sweep {
                 << r.verify_error << "\n";
       std::abort();
     }
+    json_->add("cycles." + key, r.sim.cycles);
     return cache_.emplace(key, std::move(r)).first->second;
   }
 
  private:
   std::map<std::string, AppResult> cache_;
+  BenchJson* json_ = nullptr;
 };
 
 inline double ratio(Cycle a, Cycle b) {

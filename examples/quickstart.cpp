@@ -3,8 +3,12 @@
 // the results.
 //
 // The program computes a saturating brightness boost over a 1 KB pixel
-// buffer: out[i] = sat_u8(in[i] + 24), 128 bytes (16 x 64-bit words) per
-// vector operation.
+// buffer in two passes: pass 1 writes out[i] = sat_u8(in[i] + 24), pass 2
+// re-reads `out` and writes out2[i] = sat_u8(out[i] + 24). 128 bytes
+// (16 x 64-bit words) per vector operation. The second pass re-touches lines
+// the first pass left resident in the L2 vector cache, so the run shows the
+// vector path actually hitting the L2 (paper §3.2: vector accesses bypass
+// the L1 and are served by the L2 vector cache).
 #include <iostream>
 
 #include "ir/builder.hpp"
@@ -16,7 +20,7 @@ using namespace vuv;
 int main() {
   // ---- stage input data in simulated memory --------------------------------
   Workspace ws;
-  Buffer in = ws.alloc(1024), out = ws.alloc(1024);
+  Buffer in = ws.alloc(1024), out = ws.alloc(1024), out2 = ws.alloc(1024);
   std::vector<u8> pixels(1024);
   for (size_t i = 0; i < pixels.size(); ++i) pixels[i] = static_cast<u8>(i * 7 % 256);
   ws.write_u8(in, pixels);
@@ -27,38 +31,50 @@ int main() {
   b.setvs(8);   // stride-one
   Reg src = b.movi(in.addr);
   Reg dst = b.movi(out.addr);
-  Reg boost = b.vld(b.movi(ws.alloc(128).addr), 0, 0);  // zeros; replaced below
-  (void)boost;
+  Reg dst2 = b.movi(out2.addr);
   // Constant vector of 24s, staged by the host:
   Buffer c = ws.alloc(128);
   for (int e = 0; e < 16; ++e) ws.mem().store(c.addr + 8 * e, 8, 0x1818181818181818ull);
   Reg cvec = b.vld(b.movi(c.addr), 0, c.group);
-  b.for_range(0, 8, 1, [&](Reg i) {  // 8 chunks of 128 bytes
+  // Pass 1: out = sat_u8(in + 24), 8 chunks of 128 bytes.
+  b.for_range(0, 8, 1, [&](Reg i) {
     Reg off = b.slli(i, 7);
     Reg v = b.vld(b.add(src, off), 0, in.group);
     Reg sum = b.v2(Opcode::V_PADDUSB, v, cvec);  // saturating byte add
     b.vst(sum, b.add(dst, off), 0, out.group);
   });
+  // Pass 2: out2 = sat_u8(out + 24). The `out` lines are L2-resident now.
+  b.for_range(0, 8, 1, [&](Reg i) {
+    Reg off = b.slli(i, 7);
+    Reg v = b.vld(b.add(dst, off), 0, out.group);
+    Reg sum = b.v2(Opcode::V_PADDUSB, v, cvec);
+    b.vst(sum, b.add(dst2, off), 0, out2.group);
+  });
 
   // ---- compile + simulate ----------------------------------------------------
+  // The Workspace overload pre-warms the working set into the L3, modeling
+  // the paper's steady state (cold-start main-memory misses amortize away
+  // over full-size inputs). Without it, ~99% of the cycles here would be
+  // 500-cycle cold misses.
   const MachineConfig cfg = MachineConfig::vector2(2);
-  SimResult r = run_program(b.take(), cfg, ws.mem());
+  SimResult r = run_program(b.take(), cfg, ws);
 
-  std::cout << "config:         " << cfg.name << "\n"
-            << "cycles:         " << r.cycles << "\n"
-            << "operations:     " << r.total_ops() << "\n"
-            << "micro-ops:      " << r.total_uops() << "\n"
-            << "stall cycles:   " << r.stall_cycles << "\n"
-            << "L2 vector hits: " << r.mem.l2_hits << "\n";
+  std::cout << "config:          " << cfg.name << "\n"
+            << "cycles:          " << r.cycles << "\n"
+            << "operations:      " << r.total_ops() << "\n"
+            << "micro-ops:       " << r.total_uops() << "\n"
+            << "stall cycles:    " << r.stall_cycles << "\n"
+            << "L2 vector hits:  " << r.mem.l2_hits << "\n"
+            << "L2 vector misses:" << r.mem.l2_misses << "\n";
 
-  const auto got = ws.read_u8(out, 1024);
+  const auto got = ws.read_u8(out2, 1024);
   for (size_t i = 0; i < got.size(); ++i) {
-    const int expect = std::min(255, pixels[i] + 24);
+    const int expect = std::min(255, pixels[i] + 48);
     if (got[i] != expect) {
       std::cerr << "MISMATCH at " << i << "\n";
       return 1;
     }
   }
-  std::cout << "output verified: sat_u8(in + 24) for all 1024 pixels\n";
+  std::cout << "output verified: sat_u8(in + 48) for all 1024 pixels\n";
   return 0;
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run every benchmark binary and leave a machine-readable BENCH_<name>.json
+# per bench in $VUV_BENCH_DIR (default: the working directory).
+#
+# Usage: run_benches.sh [bench_target...]
+#   With no arguments, runs every bench_* executable found in the working
+#   directory. Normally invoked via `cmake --build build --target bench`,
+#   which passes the configured target list and sets VUV_BENCH_DIR.
+set -euo pipefail
+
+out_dir="${VUV_BENCH_DIR:-$PWD}"
+benches=("$@")
+if [ ${#benches[@]} -eq 0 ]; then
+  for b in bench_*; do
+    [ -x "$b" ] && benches+=("$b")
+  done
+fi
+if [ ${#benches[@]} -eq 0 ]; then
+  echo "run_benches.sh: no bench_* executables found in $PWD" >&2
+  exit 1
+fi
+
+status=0
+for b in "${benches[@]}"; do
+  exe="./$b"
+  if [ ! -x "$exe" ]; then
+    exe="$(command -v "$b" || true)"
+    if [ -z "$exe" ]; then
+      echo "run_benches.sh: bench binary not found: $b" >&2
+      status=1
+      continue
+    fi
+  fi
+  name="${b#bench_}"
+  echo "==== $b ===="
+  if [ "$name" = "micro_components" ]; then
+    # google-benchmark emits its own JSON natively.
+    "$exe" --benchmark_out="$out_dir/BENCH_$name.json" \
+           --benchmark_out_format=json || status=1
+  else
+    VUV_BENCH_DIR="$out_dir" "$exe" || status=1
+  fi
+  if [ ! -s "$out_dir/BENCH_$name.json" ]; then
+    echo "run_benches.sh: $b did not produce BENCH_$name.json" >&2
+    status=1
+  fi
+done
+
+echo "Bench JSON files in $out_dir:"
+ls -l "$out_dir"/BENCH_*.json 2>/dev/null || true
+exit $status

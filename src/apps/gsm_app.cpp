@@ -226,6 +226,12 @@ BuiltApp build_gsm_enc(Variant var) {
   const auto pcm = make_test_speech(kNFrames * kGsmFrame);
   const std::vector<u8> golden = gsm_encode(pcm);
 
+  // Golden quantized reflection coefficients of the last frame: the emitted
+  // program stores each frame's LAR-decoded rk[] into bufs.reflq, so after
+  // simulation the buffer holds the final frame's values.
+  const std::array<i16, kGsmOrder> reflq_golden =
+      gsm_frame_reflq(pcm, kNFrames - 1);
+
   auto ws = std::make_unique<Workspace>();
   GsmBufs bufs = alloc_bufs(*ws, golden.size() + 64);
   ws->write_i16(bufs.pcm, pcm);
@@ -273,6 +279,7 @@ BuiltApp build_gsm_enc(Variant var) {
         Reg idx = b.min_(b.max_(b.srai(b.addi(r, 32768), 10), zero), c63);
         bw.put_imm(b, idx, 6);
         rk[static_cast<size_t>(k - 1)] = b.addi(b.slli(idx, 10), -32768 + 512);
+        b.std_(rk[static_cast<size_t>(k - 1)], reflq, 8 * (k - 1), bufs.reflq.group);
       }
     }
 
@@ -403,14 +410,21 @@ BuiltApp build_gsm_enc(Variant var) {
   app.name = std::string("gsm_enc.") + variant_name(var);
   app.program = b.take();
   app.ws = std::move(ws);
-  const Buffer out = bufs.out, meta = bufs.meta;
-  app.verify = [golden, out, meta](const Workspace& w) -> std::string {
+  const Buffer out = bufs.out, meta = bufs.meta, reflq_buf = bufs.reflq;
+  app.verify = [golden, out, meta, reflq_buf, reflq_golden](const Workspace& w) -> std::string {
     const u64 size = w.read_u64(meta);
     if (size != golden.size())
       return "stream size " + std::to_string(size) + " != " + std::to_string(golden.size());
     const auto bytes = w.read_u8(out, golden.size());
     for (size_t i = 0; i < golden.size(); ++i)
       if (bytes[i] != golden[i]) return "stream byte " + std::to_string(i) + " differs";
+    for (i32 k = 0; k < kGsmOrder; ++k) {
+      const i64 got = static_cast<i64>(w.read_u64(reflq_buf, static_cast<u32>(8 * k)));
+      const i64 want = reflq_golden[static_cast<size_t>(k)];
+      if (got != want)
+        return "reflq[" + std::to_string(k) + "] = " + std::to_string(got) +
+               " != " + std::to_string(want);
+    }
     return "";
   };
   return app;

@@ -55,6 +55,33 @@ void gsm_reflection(const i64* acf, i16* refl) {
   }
 }
 
+i16 gsm_lar_dequantize(i16 refl, i32* idx_out) {
+  const i32 idx = clamp_i32((refl + 32768) >> 10, 0, 63);
+  if (idx_out) *idx_out = idx;
+  return static_cast<i16>((idx << 10) - 32768 + 512);
+}
+
+std::array<i16, kGsmOrder> gsm_frame_reflq(const std::vector<i16>& pcm,
+                                           i32 frame) {
+  VUV_CHECK(pcm.size() % kGsmFrame == 0, "gsm: input must be whole frames");
+  VUV_CHECK(frame >= 0 && static_cast<size_t>(frame) < pcm.size() / kGsmFrame,
+            "gsm: frame out of range");
+  // gsm_preemphasis leaves *prev == the frame's last raw sample, so the
+  // state entering `frame` is just the preceding sample (0 for frame 0).
+  i32 prev = frame > 0 ? pcm[static_cast<size_t>(frame) * kGsmFrame - 1] : 0;
+  i16 s[kGsmFrame];
+  gsm_preemphasis(pcm.data() + static_cast<size_t>(frame) * kGsmFrame, s,
+                  kGsmFrame, &prev);
+  i64 acf[kGsmOrder + 1];
+  gsm_autocorrelation(s, acf);
+  i16 refl[kGsmOrder];
+  gsm_reflection(acf, refl);
+  std::array<i16, kGsmOrder> reflq{};
+  for (i32 k = 0; k < kGsmOrder; ++k)
+    reflq[static_cast<size_t>(k)] = gsm_lar_dequantize(refl[k]);
+  return reflq;
+}
+
 void gsm_analysis_filter(const i16* refl, const i16* s, i16* d, i32 n) {
   i16 u[kGsmOrder] = {};
   for (i32 i = 0; i < n; ++i) {
@@ -105,9 +132,9 @@ std::vector<u8> gsm_encode(const std::vector<i16>& pcm) {
     gsm_reflection(acf, refl);
     i16 reflq[kGsmOrder];
     for (i32 k = 0; k < kGsmOrder; ++k) {
-      const i32 idx = clamp_i32((refl[k] + 32768) >> 10, 0, 63);
+      i32 idx;
+      reflq[k] = gsm_lar_dequantize(refl[k], &idx);
       bw.put(static_cast<u32>(idx), 6);
-      reflq[k] = static_cast<i16>((idx << 10) - 32768 + 512);
     }
 
     gsm_analysis_filter(reflq, s, d, kGsmFrame);

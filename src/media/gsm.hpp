@@ -60,6 +60,15 @@ std::vector<i16> gsm_decode(const std::vector<u8>& stream, i32 nframes);
 void gsm_preemphasis(const i16* in, i16* out, i32 n, i32* prev);
 void gsm_autocorrelation(const i16* s, i64* acf);  // acf[0..8]
 void gsm_reflection(const i64* acf, i16* refl);    // refl[1..8] in [1..8]
+/// LAR quantize/dequantize one reflection coefficient (the 6-bit index is
+/// what gsm_encode writes to the stream; the return value is what the
+/// filters use).
+i16 gsm_lar_dequantize(i16 refl, i32* idx = nullptr);
+/// Quantized reflection coefficients of frame `frame` of `pcm` (encoder
+/// state carried from frame 0) — the values the gsm_enc application stores
+/// in its reflq buffer.
+std::array<i16, kGsmOrder> gsm_frame_reflq(const std::vector<i16>& pcm,
+                                           i32 frame);
 void gsm_analysis_filter(const i16* refl, const i16* s, i16* d, i32 n);
 void gsm_synthesis_filter(const i16* refl, const i16* d, i16* s, i32 n,
                           i16* state_v);

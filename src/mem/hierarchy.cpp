@@ -30,14 +30,14 @@ MemResult MemorySystem::scalar_access(Addr addr, i32 bytes, bool store, Cycle no
   } else {
     ++stats_.l1_misses;
     if (l2_.access(addr, false)) {
-      ++stats_.l2_hits;
+      ++stats_.l2_scalar_hits;
       lat = m.lat_l2;
     } else if (l3_.access(addr, false)) {
-      ++stats_.l2_misses;
+      ++stats_.l2_scalar_misses;
       ++stats_.l3_hits;
       lat = m.lat_l3;
     } else {
-      ++stats_.l2_misses;
+      ++stats_.l2_scalar_misses;
       ++stats_.l3_misses;
       lat = m.lat_mem;
       l3_.fill(addr, false);

@@ -26,8 +26,10 @@ struct MemStats {
   i64 l1_misses = 0;
   i64 vector_accesses = 0;
   i64 vector_nonunit_stride = 0;
-  i64 l2_hits = 0;   // line lookups on the vector path + scalar refills
-  i64 l2_misses = 0;
+  i64 l2_hits = 0;          // vector-path line lookups that hit the L2
+  i64 l2_misses = 0;        // vector-path line lookups that missed the L2
+  i64 l2_scalar_hits = 0;   // scalar L1 refills served by the L2
+  i64 l2_scalar_misses = 0; // scalar L1 refills that fell through to L3/memory
   i64 l3_hits = 0;
   i64 l3_misses = 0;
   i64 coherency_invalidations = 0;

@@ -251,4 +251,11 @@ SimResult run_program(Program prog, const MachineConfig& cfg, MainMemory& mem) {
   return cpu.run();
 }
 
+SimResult run_program(Program prog, const MachineConfig& cfg, Workspace& ws) {
+  const ScheduledProgram sp = compile(std::move(prog), cfg);
+  Cpu cpu(sp, ws.mem());
+  cpu.warm(0, ws.used());
+  return cpu.run();
+}
+
 }  // namespace vuv

@@ -69,7 +69,13 @@ class Cpu {
   std::vector<std::pair<Addr, u32>> warm_;
 };
 
-/// Convenience: compile + simulate, returning the result.
+/// Convenience: compile + simulate, returning the result. Starts from a cold
+/// memory hierarchy: every first touch pays the full main-memory latency.
 SimResult run_program(Program prog, const MachineConfig& cfg, MainMemory& mem);
+
+/// As above, but models the paper's steady-state assumption: the workspace's
+/// working set is pre-warmed into the L3 before running, matching run_app
+/// (see MemorySystem::warm and DESIGN.md on input scaling).
+SimResult run_program(Program prog, const MachineConfig& cfg, Workspace& ws);
 
 }  // namespace vuv

@@ -11,13 +11,25 @@ int main() {
 
   BenchJson json("ablation_memory");
   Sweep sweep(json);
+
+  MachineConfig naive = MachineConfig::vector2(2);
+  MachineConfig aware = MachineConfig::vector2(2);
+  aware.name = "Vector2-2w/stride-aware";
+  aware.stride_aware_sched = true;
+  MachineConfig with = MachineConfig::vliw(8);
+  MachineConfig without = MachineConfig::vliw(8);
+  without.name = "VLIW-8w/no-disambiguation";
+  without.mem_disambiguation = false;
+
+  // Declare every cell up front so the runner overlaps them all.
+  SweepSpec spec;
+  spec.add(App::kMpeg2Enc, naive, false).add(App::kMpeg2Enc, aware, false);
+  for (App a : kApps) spec.add(a, with, false).add(a, without, false);
+  sweep.prefetch(spec);
+
   {
     TextTable t({"mpeg2_enc vector regions", "cycles", "vs stride-one sched"});
-    MachineConfig naive = MachineConfig::vector2(2);
     const AppResult& rn = sweep.get(App::kMpeg2Enc, naive, false);
-    MachineConfig aware = MachineConfig::vector2(2);
-    aware.name = "Vector2-2w/stride-aware";
-    aware.stride_aware_sched = true;
     const AppResult& ra = sweep.get(App::kMpeg2Enc, aware, false);
     t.add_row({"stride-one assumption (paper)", std::to_string(rn.sim.vector_cycles()),
                "1.00"});
@@ -35,10 +47,6 @@ int main() {
   }
   {
     TextTable t({"Config (8w VLIW, scalar code)", "app cycles", "speed-up"});
-    MachineConfig with = MachineConfig::vliw(8);
-    MachineConfig without = MachineConfig::vliw(8);
-    without.name = "VLIW-8w/no-disambiguation";
-    without.mem_disambiguation = false;
     double avg = 0;
     Cycle cw = 0, cn = 0;
     for (App a : kApps) {

@@ -10,8 +10,9 @@ int main() {
 
   BenchJson json("fig1_scalability");
   Sweep sweep(json);
-  const MachineConfig cfgs[] = {MachineConfig::musimd(2), MachineConfig::musimd(4),
-                                MachineConfig::musimd(8)};
+  const std::vector<MachineConfig> cfgs = {
+      MachineConfig::musimd(2), MachineConfig::musimd(4), MachineConfig::musimd(8)};
+  sweep.prefetch(kApps, cfgs, /*perfect=*/false);
   TextTable t({"Benchmark", "regions", "2w", "4w", "8w"});
   double avg_sc4 = 0, avg_sc8 = 0, avg_vec8 = 0;
   for (size_t i = 0; i < kApps.size(); ++i) {

@@ -11,6 +11,7 @@ int main() {
   BenchJson json("fig5a_vecregions_perfect");
   Sweep sweep(json);
   const auto cfgs = MachineConfig::all_table2();
+  sweep.prefetch(kApps, cfgs, /*perfect=*/true);
   TextTable t({"Benchmark", "VLIW 2/4/8w", "+uSIMD 2/4/8w", "+Vector1 2/4w",
                "+Vector2 2/4w"});
   double v2_2w_vs_mu2w = 0, v2_2w_vs_mu8w = 0, v2_4w_vs_mu8w = 0;

@@ -13,6 +13,11 @@ int main() {
   BenchJson json("fig5b_vecregions_realistic");
   Sweep sweep(json);
   const auto cfgs = MachineConfig::all_table2();
+  sweep.prefetch(kApps, cfgs, /*perfect=*/false);
+  // The degradation column also needs the perfect-memory Vector2-2w runs.
+  SweepSpec perfect_v2;
+  for (App a : kApps) perfect_v2.add(a, cfgs[8], /*perfect=*/true);
+  sweep.prefetch(perfect_v2);
   TextTable t({"Benchmark", "VLIW 2/4/8w", "+uSIMD 2/4/8w", "+Vector1 2/4w",
                "+Vector2 2/4w", "Vector2-2w degradation"});
   for (size_t i = 0; i < kApps.size(); ++i) {

@@ -11,6 +11,10 @@ int main() {
 
   BenchJson json("fig7_opcount");
   Sweep sweep(json);
+  sweep.prefetch(kApps,
+                 {MachineConfig::vliw(2), MachineConfig::musimd(2),
+                  MachineConfig::vector2(2)},
+                 /*perfect=*/false);
   TextTable t({"Benchmark", "ISA", "R0", "R1", "R2", "R3", "Total"});
   double vec_region_reduction = 0, app_reduction = 0, uops_per_op_max = 0,
          uops_per_op_avg = 0;

@@ -12,6 +12,7 @@ int main() {
   BenchJson json("table1_regions");
   Sweep sweep(json);
   const MachineConfig cfg = MachineConfig::musimd(2);
+  sweep.prefetch(kApps, {cfg}, /*perfect=*/false);
   TextTable t({"Benchmark", "%Vect paper", "%Vect measured", "Vector regions"});
   double avg_p = 0, avg_m = 0;
   for (size_t i = 0; i < kApps.size(); ++i) {

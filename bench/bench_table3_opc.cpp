@@ -35,6 +35,9 @@ int main() {
 
   BenchJson json("table3_opc");
   Sweep sweep(json);
+  std::vector<MachineConfig> all_cfgs = {MachineConfig::vliw(2)};
+  for (const Row& row : rows) all_cfgs.push_back(row.cfg);
+  sweep.prefetch(kApps, all_cfgs, /*perfect=*/false);
   // Baselines: the 2-issue VLIW per app.
   std::vector<const AppResult*> base;
   for (App a : kApps) base.push_back(&sweep.get(a, MachineConfig::vliw(2), false));

@@ -1,15 +1,22 @@
 // Shared sweep driver for the paper-reproduction benchmark binaries.
+//
+// Since PR 2 the heavy lifting lives in src/runner/: every bench binary in
+// this directory is a thin query layer over one process-wide parallel
+// Runner, so all sweeps in a binary share a single CompileCache and thread
+// pool. Drivers call Sweep::prefetch() with their full matrix up front
+// (cells execute concurrently), then build their tables with Sweep::get()
+// — a cached, order-preserving query.
 #pragma once
 
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
-#include <map>
+#include <set>
 #include <sstream>
 
 #include "common/table.hpp"
-#include "core/experiment.hpp"
+#include "runner/runner.hpp"
 
 namespace vuv {
 namespace bench {
@@ -59,29 +66,48 @@ class BenchJson {
   std::vector<std::pair<std::string, std::string>> metrics_;
 };
 
-/// Run (and cache) one app on one configuration. Every simulated run
-/// records its cycle count into the bench's JSON automatically.
+/// The process-wide runner every sweep in a bench binary shares: one
+/// compile cache, one thread pool. Worker count: $VUV_JOBS if set, else
+/// hardware concurrency.
+inline Runner& shared_runner() {
+  static Runner runner([] {
+    RunnerOptions opts;
+    if (const char* jobs = std::getenv("VUV_JOBS")) opts.jobs = std::atoi(jobs);
+    return opts;
+  }());
+  return runner;
+}
+
+/// Thin query layer over the shared Runner. get() preserves the historic
+/// contract: results are verified (aborting the bench on a mismatch) and
+/// every distinct cell records its cycle count into the bench's JSON, in
+/// first-query order — deterministic regardless of the worker count.
 class Sweep {
  public:
   explicit Sweep(BenchJson& json) : json_(&json) {}
 
+  /// Kick off a whole matrix concurrently before the serial query phase.
+  void prefetch(const std::vector<App>& apps,
+                const std::vector<MachineConfig>& cfgs, bool perfect) {
+    shared_runner().prefetch(SweepSpec::matrix(apps, cfgs, {perfect}));
+  }
+  void prefetch(const SweepSpec& spec) { shared_runner().prefetch(spec); }
+
   const AppResult& get(App app, const MachineConfig& cfg, bool perfect) {
-    const std::string key =
-        std::string(app_name(app)) + "|" + cfg.name + "|" + (perfect ? "p" : "r");
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    AppResult r = run_app(app, cfg, perfect);
+    const AppResult& r = shared_runner().get(app, cfg, perfect);
     if (!r.verified) {
       std::cerr << "VERIFICATION FAILED: " << r.app << " on " << cfg.name << ": "
                 << r.verify_error << "\n";
       std::abort();
     }
-    json_->add("cycles." + key, r.sim.cycles);
-    return cache_.emplace(key, std::move(r)).first->second;
+    const std::string key =
+        std::string(app_name(app)) + "|" + cfg.name + "|" + (perfect ? "p" : "r");
+    if (recorded_.insert(key).second) json_->add("cycles." + key, r.sim.cycles);
+    return r;
   }
 
  private:
-  std::map<std::string, AppResult> cache_;
+  std::set<std::string> recorded_;
   BenchJson* json_ = nullptr;
 };
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Run every benchmark binary and leave a machine-readable BENCH_<name>.json
-# per bench in $VUV_BENCH_DIR (default: the working directory).
+# per bench in $VUV_BENCH_DIR (default: the working directory). Each JSON
+# gets a top-level "wall_seconds" field recording the bench's wall time.
+# Exits non-zero if any bench binary fails or fails to produce its JSON.
 #
 # Usage: run_benches.sh [bench_target...]
 #   With no arguments, runs every bench_* executable found in the working
@@ -20,6 +22,30 @@ if [ ${#benches[@]} -eq 0 ]; then
   exit 1
 fi
 
+# Nanosecond timestamp; BSD date has no %N (it echoes a literal 'N'), so
+# fall back to whole seconds there.
+now_ns() {
+  local t
+  t=$(date +%s%N)
+  case "$t" in
+    *[!0-9]*) echo "$(date +%s)000000000" ;;
+    *) echo "$t" ;;
+  esac
+}
+
+# Append a top-level "wall_seconds" field to a BENCH_*.json. All our JSON
+# writers (BenchJson and google-benchmark) end the file with a bare "}"
+# line; skip silently if the shape ever changes rather than corrupt it.
+add_wall_seconds() {
+  local json="$1" wall="$2" tmp
+  [ -s "$json" ] || return 0
+  [ "$(tail -n 1 "$json")" = "}" ] || return 0
+  tmp="$json.tmp"
+  sed '$d' "$json" > "$tmp"
+  printf '  ,"wall_seconds": %s\n}\n' "$wall" >> "$tmp"
+  mv "$tmp" "$json"
+}
+
 status=0
 for b in "${benches[@]}"; do
   exe="./$b"
@@ -33,16 +59,29 @@ for b in "${benches[@]}"; do
   fi
   name="${b#bench_}"
   echo "==== $b ===="
+  # Drop any JSON from a previous run so a crashing bench can't pass off
+  # stale metrics as fresh output.
+  rm -f "$out_dir/BENCH_$name.json"
+  bench_ok=1
+  start_ns=$(now_ns)
   if [ "$name" = "micro_components" ]; then
     # google-benchmark emits its own JSON natively.
     "$exe" --benchmark_out="$out_dir/BENCH_$name.json" \
-           --benchmark_out_format=json || status=1
+           --benchmark_out_format=json || bench_ok=0
   else
-    VUV_BENCH_DIR="$out_dir" "$exe" || status=1
+    VUV_BENCH_DIR="$out_dir" "$exe" || bench_ok=0
   fi
-  if [ ! -s "$out_dir/BENCH_$name.json" ]; then
+  end_ns=$(now_ns)
+  wall=$(awk -v s="$start_ns" -v e="$end_ns" 'BEGIN { printf "%.3f", (e - s) / 1e9 }')
+  echo "---- $b: ${wall}s"
+  if [ "$bench_ok" -eq 0 ]; then
+    echo "run_benches.sh: $b FAILED" >&2
+    status=1
+  elif [ ! -s "$out_dir/BENCH_$name.json" ]; then
     echo "run_benches.sh: $b did not produce BENCH_$name.json" >&2
     status=1
+  else
+    add_wall_seconds "$out_dir/BENCH_$name.json" "$wall"
   fi
 done
 

@@ -2,12 +2,13 @@
 
 namespace vuv {
 
-AppResult run_app_variant(App app, Variant variant, MachineConfig cfg,
-                          bool perfect_memory) {
-  cfg.mem.perfect = perfect_memory;
-  BuiltApp built = build_app(app, variant);
-  const ScheduledProgram sp = compile(std::move(built.program), cfg);
-  Cpu cpu(sp, built.ws->mem());
+namespace {
+
+/// Shared tail of every run: simulate `sp` under `cfg` against the built
+/// app's workspace, then verify the simulated outputs.
+AppResult simulate_built(BuiltApp built, const ScheduledProgram& sp,
+                         const MachineConfig& cfg) {
+  Cpu cpu(sp, cfg, built.ws->mem());
   // Steady-state working set (see MemorySystem::warm and DESIGN.md).
   cpu.warm(0, built.ws->used());
   AppResult res;
@@ -17,6 +18,21 @@ AppResult run_app_variant(App app, Variant variant, MachineConfig cfg,
   res.verify_error = built.verify(*built.ws);
   res.verified = res.verify_error.empty();
   return res;
+}
+
+}  // namespace
+
+AppResult run_app_variant(App app, Variant variant, MachineConfig cfg,
+                          bool perfect_memory) {
+  cfg.mem.perfect = perfect_memory;
+  BuiltApp built = build_app(app, variant);
+  const ScheduledProgram sp = compile(std::move(built.program), cfg);
+  return simulate_built(std::move(built), sp, cfg);
+}
+
+AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
+                       const MachineConfig& cfg) {
+  return simulate_built(build_app(app, variant), sp, cfg);
 }
 
 AppResult run_app(App app, MachineConfig cfg, bool perfect_memory) {

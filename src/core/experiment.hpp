@@ -27,4 +27,14 @@ AppResult run_app(App app, MachineConfig cfg, bool perfect_memory = false);
 AppResult run_app_variant(App app, Variant variant, MachineConfig cfg,
                           bool perfect_memory = false);
 
+/// Simulate an already-compiled program against a fresh workspace and
+/// verify the outputs. `sp` must be the result of compiling `app` built in
+/// `variant` (build_app is deterministic, so a fresh build reproduces the
+/// exact buffer layout the program was compiled against), and `cfg` must
+/// match sp.cfg up to `name` and `mem.perfect` (see Cpu). This is the
+/// execution path of the sweep runner: one shared compile, many
+/// simulations, each with a private Workspace/MainMemory.
+AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
+                       const MachineConfig& cfg);
+
 }  // namespace vuv

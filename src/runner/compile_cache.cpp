@@ -1,0 +1,58 @@
+#include "runner/compile_cache.hpp"
+
+namespace vuv {
+
+std::shared_ptr<const ScheduledProgram> CompileCache::get(
+    App app, Variant variant, const MachineConfig& cfg) {
+  std::string key = app_name(app);
+  key += '|';
+  key += variant_name(variant);
+  key += '|';
+  key += compile_signature(cfg);
+
+  std::promise<std::shared_ptr<const ScheduledProgram>> promise;
+  Entry entry;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      entry = it->second;
+    } else {
+      ++stats_.misses;
+      entry = promise.get_future().share();
+      entries_.emplace(std::move(key), entry);
+      owner = true;
+    }
+  }
+
+  if (owner) {
+    // Compile outside the lock so independent keys compile concurrently.
+    try {
+      // Canonicalize the stored configuration to realistic memory: the
+      // signature guarantees the schedule is identical either way, and
+      // simulations supply their own memory mode via the Cpu override.
+      MachineConfig compile_cfg = cfg;
+      compile_cfg.mem.perfect = false;
+      BuiltApp built = build_app(app, variant);
+      promise.set_value(std::make_shared<const ScheduledProgram>(
+          compile(std::move(built.program), compile_cfg)));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return entry.get();
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+i64 CompileCache::compiled_programs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.misses;
+}
+
+}  // namespace vuv

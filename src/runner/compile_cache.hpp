@@ -1,0 +1,47 @@
+// Thread-safe cache of compiled programs, keyed by (app, variant,
+// compile_signature(cfg)). Each unique key is built and scheduled exactly
+// once, even under concurrent requests: the first requester compiles while
+// later ones block on a shared_future for the same key. The cached
+// ScheduledProgram is immutable and shared by every simulation of that
+// cell family — including both memory modes, since `mem.perfect` and
+// `name` are excluded from the signature.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "sched/schedule.hpp"
+
+namespace vuv {
+
+class CompileCache {
+ public:
+  struct Stats {
+    i64 hits = 0;    // requests served from (or waiting on) an existing entry
+    i64 misses = 0;  // requests that triggered a compilation
+  };
+
+  /// Get (compiling on first use) the scheduled program for `app` built in
+  /// `variant` and compiled for `cfg`. Compilation failures are rethrown to
+  /// every requester of the key.
+  std::shared_ptr<const ScheduledProgram> get(App app, Variant variant,
+                                              const MachineConfig& cfg);
+
+  Stats stats() const;
+
+  /// Number of distinct programs compiled so far.
+  i64 compiled_programs() const;
+
+ private:
+  using Entry = std::shared_future<std::shared_ptr<const ScheduledProgram>>;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace vuv

@@ -1,0 +1,75 @@
+#include "runner/report.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace vuv {
+
+namespace {
+
+const char* memory_mode(const CellOutcome& o) {
+  return o.cell.perfect ? "perfect" : "realistic";
+}
+
+}  // namespace
+
+void BenchJsonReport::write(std::ostream& os,
+                            const std::vector<CellOutcome>& outcomes) const {
+  os << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"metrics\": {";
+  for (size_t i = 0; i < outcomes.size(); ++i)
+    os << (i ? "," : "") << "\n    \"cycles." << outcomes[i].cell.key()
+       << "\": " << outcomes[i].result.sim.cycles;
+  os << "\n  }\n}\n";
+}
+
+void CsvReport::write(std::ostream& os,
+                      const std::vector<CellOutcome>& outcomes) const {
+  os << "app,variant,config,memory,verified,cycles,stall_cycles,ops,uops,"
+        "vector_cycles,scalar_cycles,l1_hits,l1_misses,l2_hits,l2_misses,"
+        "l3_hits,l3_misses\n";
+  for (const CellOutcome& o : outcomes) {
+    const SimResult& s = o.result.sim;
+    os << app_name(o.cell.app) << ',' << variant_name(o.cell.variant) << ','
+       << o.cell.cfg.name << ',' << memory_mode(o) << ','
+       << (o.result.verified ? 1 : 0) << ',' << s.cycles << ','
+       << s.stall_cycles << ',' << s.total_ops() << ',' << s.total_uops()
+       << ',' << s.vector_cycles() << ',' << s.scalar_cycles() << ','
+       << s.mem.l1_hits << ',' << s.mem.l1_misses << ',' << s.mem.l2_hits
+       << ',' << s.mem.l2_misses << ',' << s.mem.l3_hits << ','
+       << s.mem.l3_misses << '\n';
+  }
+}
+
+void TableReport::write(std::ostream& os,
+                        const std::vector<CellOutcome>& outcomes) const {
+  TextTable t({"App", "Variant", "Config", "Memory", "Cycles", "Stalls",
+               "Ops", "uOps", "OK"});
+  for (const CellOutcome& o : outcomes) {
+    const SimResult& s = o.result.sim;
+    t.add_row({app_name(o.cell.app), variant_name(o.cell.variant),
+               o.cell.cfg.name, memory_mode(o), std::to_string(s.cycles),
+               std::to_string(s.stall_cycles), std::to_string(s.total_ops()),
+               std::to_string(s.total_uops()),
+               o.result.verified ? "yes" : "FAIL"});
+  }
+  os << t.to_string();
+}
+
+std::unique_ptr<Report> make_report(const std::string& format,
+                                    const std::string& bench_name) {
+  if (format == "json") return std::make_unique<BenchJsonReport>(bench_name);
+  if (format == "csv") return std::make_unique<CsvReport>();
+  if (format == "table") return std::make_unique<TableReport>();
+  throw Error("unknown report format: " + format +
+              " (expected json, csv or table)");
+}
+
+std::string report_format_for_path(const std::string& path) {
+  if (path.ends_with(".json")) return "json";
+  if (path.ends_with(".csv")) return "csv";
+  return "table";
+}
+
+}  // namespace vuv

@@ -1,0 +1,60 @@
+// Pluggable report writers over a completed sweep. All writers emit cells
+// in the order given (spec order), contain no timestamps or host timing,
+// and format numbers deterministically — a sweep's report is a pure
+// function of its results, so serial and parallel runs match byte for
+// byte.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+
+namespace vuv {
+
+class Report {
+ public:
+  virtual ~Report() = default;
+  virtual void write(std::ostream& os,
+                     const std::vector<CellOutcome>& outcomes) const = 0;
+};
+
+/// The bench harness's BENCH_<name>.json format: one "cycles.<key>" metric
+/// per cell, so sweep output plugs into the existing perf-trajectory
+/// tooling unchanged.
+class BenchJsonReport : public Report {
+ public:
+  explicit BenchJsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+  void write(std::ostream& os,
+             const std::vector<CellOutcome>& outcomes) const override;
+
+ private:
+  std::string bench_name_;
+};
+
+/// One row per cell with the headline simulation and memory statistics.
+class CsvReport : public Report {
+ public:
+  void write(std::ostream& os,
+             const std::vector<CellOutcome>& outcomes) const override;
+};
+
+/// Human-readable summary table (TextTable), one row per cell.
+class TableReport : public Report {
+ public:
+  void write(std::ostream& os,
+             const std::vector<CellOutcome>& outcomes) const override;
+};
+
+/// Writer for "json", "csv" or "table"; throws Error otherwise.
+std::unique_ptr<Report> make_report(const std::string& format,
+                                    const std::string& bench_name);
+
+/// Report format implied by a file name: ".json" -> json, ".csv" -> csv,
+/// anything else -> table.
+std::string report_format_for_path(const std::string& path);
+
+}  // namespace vuv

@@ -1,0 +1,91 @@
+#include "runner/runner.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace vuv {
+
+namespace {
+
+i32 default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<i32>(hw) : 4;
+}
+
+}  // namespace
+
+Runner::Runner(RunnerOptions opts)
+    : pool_(opts.jobs > 0 ? opts.jobs : default_jobs()) {}
+
+Runner::Entry Runner::enqueue(const SweepCell& cell) {
+  // The human-readable key alone would collide for two configurations that
+  // share a name but differ in parameters (an ablation that forgot to
+  // rename itself); folding in the compile signature keeps such cells
+  // distinct instead of silently returning the first one's results.
+  std::string key = cell.key();
+  key += '|';
+  key += compile_signature(cell.cfg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = results_.find(key);
+    if (it != results_.end()) return it->second;
+  }
+
+  auto promise =
+      std::make_shared<std::promise<std::shared_ptr<const CellOutcome>>>();
+  Entry entry = promise->get_future().share();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Another thread may have raced us past the first lookup; keep theirs.
+    auto [it, inserted] = results_.emplace(std::move(key), entry);
+    if (!inserted) return it->second;
+  }
+
+  pool_.submit([this, cell, promise] {
+    try {
+      MachineConfig sim_cfg = cell.cfg;
+      sim_cfg.mem.perfect = cell.perfect;
+      const std::shared_ptr<const ScheduledProgram> sp =
+          compile_cache_.get(cell.app, cell.variant, sim_cfg);
+      const auto t0 = std::chrono::steady_clock::now();
+      auto outcome = std::make_shared<CellOutcome>();
+      outcome->cell = cell;
+      outcome->cell.cfg.mem.perfect = cell.perfect;
+      outcome->result = run_compiled(cell.app, cell.variant, *sp, sim_cfg);
+      outcome->wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      promise->set_value(std::move(outcome));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return entry;
+}
+
+std::vector<CellOutcome> Runner::run(const SweepSpec& spec) {
+  std::vector<Entry> entries;
+  entries.reserve(spec.cells.size());
+  for (const SweepCell& cell : spec.cells) entries.push_back(enqueue(cell));
+
+  std::vector<CellOutcome> out;
+  out.reserve(entries.size());
+  for (Entry& e : entries) out.push_back(*e.get());  // spec order
+  return out;
+}
+
+void Runner::prefetch(const SweepSpec& spec) {
+  for (const SweepCell& cell : spec.cells) enqueue(cell);
+}
+
+const AppResult& Runner::get(const SweepCell& cell) {
+  return enqueue(cell).get()->result;
+}
+
+const AppResult& Runner::get(App app, const MachineConfig& cfg, bool perfect) {
+  SweepCell cell{app, variant_for(cfg.isa), cfg, perfect};
+  return get(cell);
+}
+
+}  // namespace vuv

@@ -1,0 +1,72 @@
+// Parallel sweep executor: runs the cells of a SweepSpec on a thread pool,
+// sharing one CompileCache (each unique (app, variant, config) compiled
+// once) while giving every simulation its own Workspace/MainMemory.
+// Results are cached per cell and returned in spec order regardless of
+// completion order, so a jobs=8 sweep reports byte-identically to jobs=1.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "runner/compile_cache.hpp"
+#include "runner/sweep_spec.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace vuv {
+
+/// The completed execution of one SweepCell.
+struct CellOutcome {
+  SweepCell cell;
+  AppResult result;
+  /// Host wall-clock of the simulate+verify step, for operator feedback
+  /// only — never written into reports (it would break byte-identical
+  /// serial/parallel output).
+  double wall_ms = 0.0;
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  i32 jobs = 0;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions opts = {});
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Execute every cell (deduplicated against the result cache) and return
+  /// outcomes in spec order. Simulation/verification errors propagate as
+  /// exceptions once all submitted work has settled.
+  std::vector<CellOutcome> run(const SweepSpec& spec);
+
+  /// Enqueue every cell without waiting. A later run()/get() picks up the
+  /// in-flight or finished results; bench drivers use this to overlap the
+  /// whole matrix before querying it serially.
+  void prefetch(const SweepSpec& spec);
+
+  /// Blocking single-cell query (cached). The reference stays valid for the
+  /// Runner's lifetime.
+  const AppResult& get(App app, const MachineConfig& cfg, bool perfect);
+  const AppResult& get(const SweepCell& cell);
+
+  CompileCache& compile_cache() { return compile_cache_; }
+  i32 jobs() const { return pool_.threads(); }
+
+ private:
+  using Entry = std::shared_future<std::shared_ptr<const CellOutcome>>;
+
+  Entry enqueue(const SweepCell& cell);
+
+  CompileCache compile_cache_;
+  std::mutex mu_;
+  std::map<std::string, Entry> results_;
+  ThreadPool pool_;  // declared last: workers must die before the caches
+};
+
+}  // namespace vuv

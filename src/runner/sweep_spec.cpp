@@ -1,0 +1,45 @@
+#include "runner/sweep_spec.hpp"
+
+namespace vuv {
+
+std::string SweepCell::key() const {
+  std::string k = app_name(app);
+  k += '|';
+  k += variant_name(variant);
+  k += '|';
+  k += cfg.name;
+  k += '|';
+  k += perfect ? 'p' : 'r';
+  return k;
+}
+
+SweepSpec& SweepSpec::add(App app, const MachineConfig& cfg, bool perfect) {
+  return add(app, variant_for(cfg.isa), cfg, perfect);
+}
+
+SweepSpec& SweepSpec::add(App app, Variant variant, const MachineConfig& cfg,
+                          bool perfect) {
+  cells.push_back(SweepCell{app, variant, cfg, perfect});
+  return *this;
+}
+
+SweepSpec SweepSpec::matrix(const std::vector<App>& apps,
+                            const std::vector<MachineConfig>& cfgs,
+                            const std::vector<bool>& perfect_modes) {
+  SweepSpec spec;
+  spec.cells.reserve(apps.size() * cfgs.size() * perfect_modes.size());
+  for (App app : apps)
+    for (const MachineConfig& cfg : cfgs)
+      for (bool perfect : perfect_modes) spec.add(app, cfg, perfect);
+  return spec;
+}
+
+SweepSpec SweepSpec::filtered(const std::string& substr) const {
+  SweepSpec out;
+  for (const SweepCell& c : cells)
+    if (substr.empty() || c.key().find(substr) != std::string::npos)
+      out.cells.push_back(c);
+  return out;
+}
+
+}  // namespace vuv

@@ -1,0 +1,54 @@
+// Declarative description of a simulation sweep: the cross-product cells
+// (app, variant, machine configuration, memory mode) a Runner executes.
+// Ablation overrides are expressed by handing in an edited MachineConfig
+// (as the bench ablation drivers already do); the variant defaults to the
+// best code the configuration's ISA supports, matching run_app.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "sim/machine_config.hpp"
+
+namespace vuv {
+
+/// One simulation to perform.
+struct SweepCell {
+  App app = App::kJpegEnc;
+  Variant variant = Variant::kScalar;
+  MachineConfig cfg;
+  bool perfect = false;  // perfect-memory run (paper §5.1)
+
+  /// Unique, human-readable identity of the cell. Also the report row key:
+  /// "<app>|<variant>|<config-name>|<p|r>".
+  std::string key() const;
+};
+
+/// An ordered list of cells. Order is significant: the Runner returns
+/// results in spec order regardless of completion order, and reports are
+/// written in spec order, which is what makes parallel and serial sweeps
+/// byte-identical.
+struct SweepSpec {
+  std::vector<SweepCell> cells;
+
+  /// Append one cell running the variant implied by cfg's ISA level.
+  SweepSpec& add(App app, const MachineConfig& cfg, bool perfect = false);
+  /// Append one cell with an explicit variant (ablations/tests).
+  SweepSpec& add(App app, Variant variant, const MachineConfig& cfg,
+                 bool perfect = false);
+
+  /// Full cross-product, apps-major in the given order; each (app, cfg)
+  /// pair expands to one cell per requested memory mode.
+  static SweepSpec matrix(const std::vector<App>& apps,
+                          const std::vector<MachineConfig>& cfgs,
+                          const std::vector<bool>& perfect_modes = {false});
+
+  /// Cells whose key contains `substr` (empty matches everything).
+  SweepSpec filtered(const std::string& substr) const;
+
+  size_t size() const { return cells.size(); }
+  bool empty() const { return cells.empty(); }
+};
+
+}  // namespace vuv

@@ -1,0 +1,48 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace vuv {
+
+ThreadPool::ThreadPool(i32 threads) {
+  const i32 n = std::max<i32>(threads, 1);
+  workers_.reserve(static_cast<size_t>(n));
+  for (i32 i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  std::deque<std::function<void()>> discarded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    // Drop unstarted work so an aborted sweep exits promptly instead of
+    // simulating every remaining queued cell first.
+    discarded.swap(queue_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // unstarted jobs were discarded by the destructor
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace vuv

@@ -1,0 +1,47 @@
+// Fixed-size worker pool for the sweep runner. Deliberately minimal: jobs
+// are opaque void() closures, submitted from any thread, executed FIFO.
+// Result plumbing and ordering live in Runner (via promises/futures), so
+// the pool itself never needs to know what a job computes.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vuv {
+
+class ThreadPool {
+ public:
+  /// `threads` < 1 is clamped to 1. A single-thread pool still runs jobs on
+  /// a worker (not inline), so serial and parallel sweeps exercise the same
+  /// code path and differ only in concurrency.
+  explicit ThreadPool(i32 threads);
+  /// Finishes jobs already running, discards jobs still queued (their
+  /// promises break, which unblocks any stray waiter), then joins. Callers
+  /// that need every submitted job executed must wait on their own
+  /// completion signals before destroying the pool — Runner::run does.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> job);
+
+  i32 threads() const { return static_cast<i32>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vuv

@@ -52,10 +52,17 @@ i64 uops_of(const Operation& op, i32 vl) {
 
 }  // namespace
 
-Cpu::Cpu(const ScheduledProgram& sp, MainMemory& mem) : sp_(sp), mem_(mem) {}
+Cpu::Cpu(const ScheduledProgram& sp, MainMemory& mem)
+    : sp_(sp), cfg_(sp.cfg), mem_(mem) {}
+
+Cpu::Cpu(const ScheduledProgram& sp, const MachineConfig& cfg, MainMemory& mem)
+    : sp_(sp), cfg_(cfg), mem_(mem) {
+  VUV_CHECK(compile_signature(cfg) == compile_signature(sp.cfg),
+            "simulation config is incompatible with the compiled program");
+}
 
 SimResult Cpu::run(Cycle max_cycles) {
-  const MachineConfig& cfg = sp_.cfg;
+  const MachineConfig& cfg = cfg_;
   const Program& prog = sp_.prog;
   VUV_CHECK(prog.allocated, "program must be register-allocated");
 

@@ -56,6 +56,14 @@ class Cpu {
   /// The scheduled program must outlive the Cpu.
   Cpu(const ScheduledProgram& sp, MainMemory& mem);
 
+  /// As above, but simulate under `cfg` instead of the configuration the
+  /// program was compiled for. `cfg` must have the same compile_signature
+  /// as `sp.cfg` (checked); it may differ in `name` and `mem.perfect`,
+  /// which is how the runner's CompileCache shares one compiled program
+  /// between the realistic and perfect-memory runs. Both `sp` and `cfg`
+  /// must outlive the Cpu.
+  Cpu(const ScheduledProgram& sp, const MachineConfig& cfg, MainMemory& mem);
+
   /// Pre-fill the L3 with an address range before running (see
   /// MemorySystem::warm).
   void warm(Addr start, u32 bytes) { warm_.emplace_back(start, bytes); }
@@ -65,6 +73,7 @@ class Cpu {
 
  private:
   const ScheduledProgram& sp_;
+  const MachineConfig& cfg_;  // simulation-time configuration (default sp.cfg)
   MainMemory& mem_;
   std::vector<std::pair<Addr, u32>> warm_;
 };

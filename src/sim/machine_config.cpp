@@ -79,4 +79,44 @@ std::vector<MachineConfig> MachineConfig::all_table2() {
           musimd(8),  vector1(2), vector1(4), vector2(2), vector2(4)};
 }
 
+std::string compile_signature(const MachineConfig& c) {
+  std::string s;
+  s.reserve(128);
+  auto add = [&s](i64 v) {
+    s += std::to_string(v);
+    s += ',';
+  };
+  add(static_cast<i64>(c.isa));
+  add(c.issue_width);
+  add(c.int_regs);
+  add(c.simd_regs);
+  add(c.vec_regs);
+  add(c.acc_regs);
+  add(c.int_units);
+  add(c.simd_units);
+  add(c.vec_units);
+  add(c.branch_units);
+  add(c.l1_ports);
+  add(c.l2_ports);
+  add(c.lanes);
+  add(c.l2_port_elems);
+  add(c.max_vl);
+  add(c.mem.l1_size);
+  add(c.mem.l1_assoc);
+  add(c.mem.l2_size);
+  add(c.mem.l2_assoc);
+  add(c.mem.l2_banks);
+  add(c.mem.l3_size);
+  add(c.mem.l3_assoc);
+  add(c.mem.line_size);
+  add(c.mem.lat_l1);
+  add(c.mem.lat_l2);
+  add(c.mem.lat_l3);
+  add(c.mem.lat_mem);
+  add(c.mem_disambiguation);
+  add(c.stride_aware_sched);
+  add(c.chaining);
+  return s;
+}
+
 }  // namespace vuv

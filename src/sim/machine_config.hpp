@@ -89,4 +89,13 @@ struct MachineConfig {
   static std::vector<MachineConfig> all_table2();
 };
 
+/// Stable textual key of every field that influences compilation (register
+/// allocation and scheduling). Two configurations with equal signatures
+/// produce identical ScheduledPrograms for the same input program; `name`
+/// and `mem.perfect` are deliberately excluded (the former is a label, the
+/// latter only affects the run-time memory system), which is what lets the
+/// runner's CompileCache share one compile between the realistic and
+/// perfect-memory runs of a configuration.
+std::string compile_signature(const MachineConfig& cfg);
+
 }  // namespace vuv

@@ -1,0 +1,98 @@
+// Determinism regression: running the same (app, config, memory-mode) cell
+// twice must yield bit-identical results. This is the invariant the sweep
+// runner's CompileCache and parallel execution rely on: build_app must
+// reproduce the exact program and buffer layout every time, and simulation
+// must be a pure function of (program, config, workspace).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace vuv {
+namespace {
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.config_name, b.config_name);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+  EXPECT_EQ(a.taken_branches, b.taken_branches);
+
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(a.regions[i].name, b.regions[i].name) << "region " << i;
+    EXPECT_EQ(a.regions[i].cycles, b.regions[i].cycles) << "region " << i;
+    EXPECT_EQ(a.regions[i].ops, b.regions[i].ops) << "region " << i;
+    EXPECT_EQ(a.regions[i].uops, b.regions[i].uops) << "region " << i;
+    EXPECT_EQ(a.regions[i].words, b.regions[i].words) << "region " << i;
+  }
+
+  const MemStats& ma = a.mem;
+  const MemStats& mb = b.mem;
+  EXPECT_EQ(ma.scalar_accesses, mb.scalar_accesses);
+  EXPECT_EQ(ma.l1_hits, mb.l1_hits);
+  EXPECT_EQ(ma.l1_misses, mb.l1_misses);
+  EXPECT_EQ(ma.vector_accesses, mb.vector_accesses);
+  EXPECT_EQ(ma.vector_nonunit_stride, mb.vector_nonunit_stride);
+  EXPECT_EQ(ma.l2_hits, mb.l2_hits);
+  EXPECT_EQ(ma.l2_misses, mb.l2_misses);
+  EXPECT_EQ(ma.l2_scalar_hits, mb.l2_scalar_hits);
+  EXPECT_EQ(ma.l2_scalar_misses, mb.l2_scalar_misses);
+  EXPECT_EQ(ma.l3_hits, mb.l3_hits);
+  EXPECT_EQ(ma.l3_misses, mb.l3_misses);
+  EXPECT_EQ(ma.coherency_invalidations, mb.coherency_invalidations);
+  EXPECT_EQ(ma.coherency_writebacks, mb.coherency_writebacks);
+  EXPECT_EQ(ma.bank_pairs, mb.bank_pairs);
+}
+
+void roundtrip(App app, const MachineConfig& cfg, bool perfect) {
+  SCOPED_TRACE(std::string(app_name(app)) + " on " + cfg.name +
+               (perfect ? " (perfect)" : " (realistic)"));
+  const AppResult a = run_app(app, cfg, perfect);
+  const AppResult b = run_app(app, cfg, perfect);
+  EXPECT_TRUE(a.verified) << a.verify_error;
+  EXPECT_TRUE(b.verified) << b.verify_error;
+  expect_identical(a.sim, b.sim);
+}
+
+TEST(Determinism, ScalarRealistic) {
+  roundtrip(App::kGsmDec, MachineConfig::vliw(2), false);
+}
+
+TEST(Determinism, MusimdRealistic) {
+  roundtrip(App::kGsmEnc, MachineConfig::musimd(4), false);
+}
+
+TEST(Determinism, VectorRealistic) {
+  roundtrip(App::kJpegEnc, MachineConfig::vector2(2), false);
+}
+
+TEST(Determinism, VectorPerfect) {
+  roundtrip(App::kJpegDec, MachineConfig::vector1(2), true);
+}
+
+// The shared-compile path must also be deterministic AND equal to the
+// private-compile path: compiling once and simulating against two fresh
+// workspaces reproduces run_app exactly.
+TEST(Determinism, SharedCompileMatchesPrivateCompile) {
+  const App app = App::kGsmDec;
+  const Variant variant = Variant::kVector;
+  MachineConfig cfg = MachineConfig::vector2(2);
+
+  BuiltApp built = build_app(app, variant);
+  const ScheduledProgram sp = compile(std::move(built.program), cfg);
+
+  const AppResult via_cache_r = run_compiled(app, variant, sp, cfg);
+  MachineConfig perfect_cfg = cfg;
+  perfect_cfg.mem.perfect = true;
+  const AppResult via_cache_p = run_compiled(app, variant, sp, perfect_cfg);
+
+  const AppResult direct_r = run_app_variant(app, variant, cfg, false);
+  const AppResult direct_p = run_app_variant(app, variant, cfg, true);
+
+  EXPECT_TRUE(via_cache_r.verified) << via_cache_r.verify_error;
+  EXPECT_TRUE(via_cache_p.verified) << via_cache_p.verify_error;
+  expect_identical(via_cache_r.sim, direct_r.sim);
+  expect_identical(via_cache_p.sim, direct_p.sim);
+}
+
+}  // namespace
+}  // namespace vuv

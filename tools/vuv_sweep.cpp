@@ -1,0 +1,155 @@
+// vuv_sweep — run a matrix of (app x config x memory-mode) simulations on
+// the parallel sweep runner and emit a unified report.
+//
+//   vuv_sweep                                # full 6-app x Table-2 matrix
+//   vuv_sweep --apps jpeg_enc,gsm_dec --configs Vector2-2w,VLIW-8w
+//   vuv_sweep --jobs 8 --out sweep.csv       # format from the extension
+//   vuv_sweep --perfect --filter mpeg2       # perfect memory, key filter
+//
+// Reports are byte-identical for any --jobs value: cells are emitted in
+// spec order and contain no host timing. Wall time and compile-cache
+// statistics go to stderr only.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "runner/report.hpp"
+#include "runner/runner.hpp"
+
+using namespace vuv;
+
+namespace {
+
+const char kUsage[] = R"(usage: vuv_sweep [options]
+
+Run (app x config x memory-mode) sweeps on the parallel runner.
+
+options:
+  --apps a,b,...     apps to run (default: all six)
+                     names: jpeg_enc jpeg_dec mpeg2_enc mpeg2_dec gsm_enc gsm_dec
+  --configs a,b,...  Table-2 configuration names (default: all ten)
+                     e.g. VLIW-2w uSIMD-4w Vector1-2w Vector2-4w
+  --jobs N           worker threads (default: hardware concurrency)
+  --perfect          simulate with perfect memory (paper 5.1) instead of
+                     the realistic hierarchy
+  --filter SUBSTR    keep only cells whose key contains SUBSTR
+                     (key: <app>|<variant>|<config>|<p|r>)
+  --out PATH         write the report to PATH; format from the extension
+                     (.json = BENCH-style json, .csv = csv, else table)
+  --format F         override the report format: json, csv or table
+  --name NAME        bench name embedded in json reports (default: sweep)
+  -h, --help         this text
+)";
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+App app_by_name(const std::string& name) {
+  for (App a : all_apps())
+    if (name == app_name(a)) return a;
+  throw Error("unknown app: " + name);
+}
+
+MachineConfig config_by_name(const std::string& name) {
+  for (const MachineConfig& c : MachineConfig::all_table2())
+    if (name == c.name) return c;
+  throw Error("unknown configuration: " + name + " (expected a Table-2 name)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<App> apps = all_apps();
+  std::vector<MachineConfig> cfgs = MachineConfig::all_table2();
+  RunnerOptions opts;
+  bool perfect = false;
+  std::string filter, out_path, format, name = "sweep";
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "-h" || arg == "--help") {
+        std::cout << kUsage;
+        return 0;
+      } else if (arg == "--apps") {
+        apps.clear();
+        for (const std::string& n : split_csv(value()))
+          apps.push_back(app_by_name(n));
+      } else if (arg == "--configs") {
+        cfgs.clear();
+        for (const std::string& n : split_csv(value()))
+          cfgs.push_back(config_by_name(n));
+      } else if (arg == "--jobs") {
+        opts.jobs = std::stoi(value());
+      } else if (arg == "--perfect") {
+        perfect = true;
+      } else if (arg == "--filter") {
+        filter = value();
+      } else if (arg == "--out") {
+        out_path = value();
+      } else if (arg == "--format") {
+        format = value();
+      } else if (arg == "--name") {
+        name = value();
+      } else {
+        throw Error("unknown option: " + arg + " (see --help)");
+      }
+    }
+
+    const SweepSpec spec =
+        SweepSpec::matrix(apps, cfgs, {perfect}).filtered(filter);
+    if (spec.empty()) throw Error("the sweep spec selected no cells");
+
+    Runner runner(opts);
+    std::cerr << "[vuv_sweep] " << spec.size() << " cells on "
+              << runner.jobs() << " worker(s)\n";
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<CellOutcome> outcomes = runner.run(spec);
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+    if (format.empty())
+      format = out_path.empty() ? "table" : report_format_for_path(out_path);
+    const std::unique_ptr<Report> report = make_report(format, name);
+    if (out_path.empty()) {
+      report->write(std::cout, outcomes);
+    } else {
+      std::ofstream f(out_path);
+      if (!f) throw Error("cannot write " + out_path);
+      report->write(f, outcomes);
+      std::cout << "[vuv_sweep] wrote " << out_path << " (" << format
+                << ")\n";
+    }
+
+    const CompileCache::Stats cs = runner.compile_cache().stats();
+    std::cerr << "[vuv_sweep] " << outcomes.size() << " cells in "
+              << TextTable::num(wall_s) << "s; compile cache: " << cs.misses
+              << " compiled, " << cs.hits << " reused\n";
+
+    int failures = 0;
+    for (const CellOutcome& o : outcomes)
+      if (!o.result.verified) {
+        ++failures;
+        std::cerr << "[vuv_sweep] VERIFICATION FAILED: " << o.cell.key()
+                  << ": " << o.result.verify_error << "\n";
+      }
+    return failures ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "vuv_sweep: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Run every benchmark binary and leave a machine-readable BENCH_<name>.json
 # per bench in $VUV_BENCH_DIR (default: the working directory). Each JSON
-# gets a top-level "wall_seconds" field recording the bench's wall time.
+# gets a top-level "wall_seconds" field recording the bench's wall time,
+# and the per-bench wall times are aggregated into one
+# BENCH_wall_summary.json so the host-perf trajectory is a single artifact.
 # Exits non-zero if any bench binary fails or fails to produce its JSON.
 #
 # Usage: run_benches.sh [bench_target...]
@@ -47,6 +49,8 @@ add_wall_seconds() {
 }
 
 status=0
+summary_names=()
+summary_walls=()
 for b in "${benches[@]}"; do
   exe="./$b"
   if [ ! -x "$exe" ]; then
@@ -82,8 +86,23 @@ for b in "${benches[@]}"; do
     status=1
   else
     add_wall_seconds "$out_dir/BENCH_$name.json" "$wall"
+    summary_names+=("$name")
+    summary_walls+=("$wall")
   fi
 done
+
+# One aggregate artifact for the whole suite: per-bench wall seconds plus
+# the total, in the BENCH json shape.
+{
+  printf '{\n  "bench": "wall_summary",\n  "wall_seconds": {'
+  total=0
+  for i in "${!summary_names[@]}"; do
+    [ "$i" -gt 0 ] && printf ','
+    printf '\n    "%s": %s' "${summary_names[$i]}" "${summary_walls[$i]}"
+    total=$(awk -v t="$total" -v w="${summary_walls[$i]}" 'BEGIN { printf "%.3f", t + w }')
+  done
+  printf '\n  },\n  "total_wall_seconds": %s\n}\n' "$total"
+} > "$out_dir/BENCH_wall_summary.json"
 
 echo "Bench JSON files in $out_dir:"
 ls -l "$out_dir"/BENCH_*.json 2>/dev/null || true

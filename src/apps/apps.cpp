@@ -30,6 +30,17 @@ std::vector<App> all_apps() {
           App::kMpeg2Dec, App::kGsmEnc, App::kGsmDec};
 }
 
+App app_by_name(const std::string& name) {
+  for (App a : all_apps())
+    if (name == app_name(a)) return a;
+  std::string valid;
+  for (App a : all_apps()) {
+    if (!valid.empty()) valid += ' ';
+    valid += app_name(a);
+  }
+  throw Error("unknown app: " + name + " (expected one of: " + valid + ")");
+}
+
 Variant variant_for(IsaLevel lvl) {
   switch (lvl) {
     case IsaLevel::kScalar: return Variant::kScalar;

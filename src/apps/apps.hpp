@@ -21,6 +21,9 @@ const char* app_name(App a);
 const char* variant_name(Variant v);
 std::vector<App> all_apps();
 
+/// Inverse of app_name. Throws Error naming the valid spellings.
+App app_by_name(const std::string& name);
+
 /// The code variant a machine configuration runs (paper methodology: each
 /// architecture runs the best code its ISA supports).
 Variant variant_for(IsaLevel lvl);

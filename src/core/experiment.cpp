@@ -5,10 +5,13 @@ namespace vuv {
 namespace {
 
 /// Shared tail of every run: simulate `sp` under `cfg` against the built
-/// app's workspace, then verify the simulated outputs.
+/// app's workspace, then verify the simulated outputs. `image`, when given,
+/// is the shared pre-lowered execution image of `sp`.
 AppResult simulate_built(BuiltApp built, const ScheduledProgram& sp,
-                         const MachineConfig& cfg) {
-  Cpu cpu(sp, cfg, built.ws->mem());
+                         const MachineConfig& cfg,
+                         const ExecImage* image = nullptr) {
+  Cpu cpu = image ? Cpu(sp, cfg, built.ws->mem(), *image)
+                  : Cpu(sp, cfg, built.ws->mem());
   // Steady-state working set (see MemorySystem::warm and DESIGN.md).
   cpu.warm(0, built.ws->used());
   AppResult res;
@@ -33,6 +36,11 @@ AppResult run_app_variant(App app, Variant variant, MachineConfig cfg,
 AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
                        const MachineConfig& cfg) {
   return simulate_built(build_app(app, variant), sp, cfg);
+}
+
+AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
+                       const ExecImage& image, const MachineConfig& cfg) {
+  return simulate_built(build_app(app, variant), sp, cfg, &image);
 }
 
 AppResult run_app(App app, MachineConfig cfg, bool perfect_memory) {

@@ -37,4 +37,10 @@ AppResult run_app_variant(App app, Variant variant, MachineConfig cfg,
 AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
                        const MachineConfig& cfg);
 
+/// As above, but replay a pre-lowered execution image (see sim/image.hpp)
+/// instead of lowering one per simulation. `image` must be the lowering of
+/// `sp` under a compile-compatible configuration.
+AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
+                       const ExecImage& image, const MachineConfig& cfg);
+
 }  // namespace vuv

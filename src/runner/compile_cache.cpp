@@ -2,7 +2,7 @@
 
 namespace vuv {
 
-std::shared_ptr<const ScheduledProgram> CompileCache::get(
+std::shared_ptr<const CompiledProgram> CompileCache::get(
     App app, Variant variant, const MachineConfig& cfg) {
   std::string key = app_name(app);
   key += '|';
@@ -10,7 +10,7 @@ std::shared_ptr<const ScheduledProgram> CompileCache::get(
   key += '|';
   key += compile_signature(cfg);
 
-  std::promise<std::shared_ptr<const ScheduledProgram>> promise;
+  std::promise<std::shared_ptr<const CompiledProgram>> promise;
   Entry entry;
   bool owner = false;
   {
@@ -36,8 +36,10 @@ std::shared_ptr<const ScheduledProgram> CompileCache::get(
       MachineConfig compile_cfg = cfg;
       compile_cfg.mem.perfect = false;
       BuiltApp built = build_app(app, variant);
-      promise.set_value(std::make_shared<const ScheduledProgram>(
-          compile(std::move(built.program), compile_cfg)));
+      auto cp = std::make_shared<CompiledProgram>();
+      cp->sp = compile(std::move(built.program), compile_cfg);
+      cp->image = lower_image(cp->sp, compile_cfg);
+      promise.set_value(std::move(cp));
     } catch (...) {
       promise.set_exception(std::current_exception());
     }

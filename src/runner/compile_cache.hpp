@@ -1,10 +1,11 @@
 // Thread-safe cache of compiled programs, keyed by (app, variant,
-// compile_signature(cfg)). Each unique key is built and scheduled exactly
-// once, even under concurrent requests: the first requester compiles while
-// later ones block on a shared_future for the same key. The cached
-// ScheduledProgram is immutable and shared by every simulation of that
-// cell family — including both memory modes, since `mem.perfect` and
-// `name` are excluded from the signature.
+// compile_signature(cfg)). Each unique key is built, scheduled and lowered
+// to its predecoded execution image exactly once, even under concurrent
+// requests: the first requester compiles while later ones block on a
+// shared_future for the same key. The cached CompiledProgram is immutable
+// and shared by every simulation of that cell family — including both
+// memory modes, since `mem.perfect` and `name` are excluded from the
+// signature and do not affect the image.
 #pragma once
 
 #include <future>
@@ -15,8 +16,16 @@
 
 #include "apps/apps.hpp"
 #include "sched/schedule.hpp"
+#include "sim/image.hpp"
 
 namespace vuv {
+
+/// A scheduled program together with its predecoded execution image (see
+/// sim/image.hpp): compiled once, simulated many times.
+struct CompiledProgram {
+  ScheduledProgram sp;
+  ExecImage image;
+};
 
 class CompileCache {
  public:
@@ -25,11 +34,11 @@ class CompileCache {
     i64 misses = 0;  // requests that triggered a compilation
   };
 
-  /// Get (compiling on first use) the scheduled program for `app` built in
-  /// `variant` and compiled for `cfg`. Compilation failures are rethrown to
-  /// every requester of the key.
-  std::shared_ptr<const ScheduledProgram> get(App app, Variant variant,
-                                              const MachineConfig& cfg);
+  /// Get (compiling on first use) the scheduled program and execution
+  /// image for `app` built in `variant` and compiled for `cfg`.
+  /// Compilation failures are rethrown to every requester of the key.
+  std::shared_ptr<const CompiledProgram> get(App app, Variant variant,
+                                             const MachineConfig& cfg);
 
   Stats stats() const;
 
@@ -37,7 +46,7 @@ class CompileCache {
   i64 compiled_programs() const;
 
  private:
-  using Entry = std::shared_future<std::shared_ptr<const ScheduledProgram>>;
+  using Entry = std::shared_future<std::shared_ptr<const CompiledProgram>>;
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;

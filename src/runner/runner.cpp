@@ -45,13 +45,14 @@ Runner::Entry Runner::enqueue(const SweepCell& cell) {
     try {
       MachineConfig sim_cfg = cell.cfg;
       sim_cfg.mem.perfect = cell.perfect;
-      const std::shared_ptr<const ScheduledProgram> sp =
+      const std::shared_ptr<const CompiledProgram> cp =
           compile_cache_.get(cell.app, cell.variant, sim_cfg);
       const auto t0 = std::chrono::steady_clock::now();
       auto outcome = std::make_shared<CellOutcome>();
       outcome->cell = cell;
       outcome->cell.cfg.mem.perfect = cell.perfect;
-      outcome->result = run_compiled(cell.app, cell.variant, *sp, sim_cfg);
+      outcome->result =
+          run_compiled(cell.app, cell.variant, cp->sp, cp->image, sim_cfg);
       outcome->wall_ms =
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - t0)

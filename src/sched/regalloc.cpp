@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <deque>
 #include <map>
-#include <set>
 #include <vector>
 
 #include "common/error.hpp"
@@ -27,10 +26,71 @@ struct Interval {
   i64 end;
 };
 
+/// Flat virtual-register indexing: one dense id space over all allocatable
+/// classes, in (class, id) order — the same order the former
+/// map<pair<class,id>> iterated in, which the tie-breaking of the interval
+/// sort below relies on.
+struct VregSpace {
+  std::array<i32, 6> off{};
+  i32 total = 0;
+
+  explicit VregSpace(const Program& prog) {
+    for (int c = 0; c < 6; ++c) {
+      off[static_cast<size_t>(c)] = total;
+      if (static_cast<RegClass>(c) != RegClass::kNone &&
+          static_cast<RegClass>(c) != RegClass::kSpecial)
+        total += prog.reg_count[static_cast<size_t>(c)];
+    }
+  }
+
+  i32 index(const Reg& r) const {
+    return off[static_cast<size_t>(r.cls)] + r.id;
+  }
+};
+
+/// Fixed-width bitset over the virtual-register space (liveness sets).
+class RegBits {
+ public:
+  void resize_for(i32 bits) {
+    w_.assign(static_cast<size_t>((bits + 63) / 64), 0);
+  }
+  void set(i32 i) { w_[static_cast<size_t>(i >> 6)] |= 1ULL << (i & 63); }
+  bool test(i32 i) const {
+    return (w_[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+  void or_with(const RegBits& o) {
+    for (size_t k = 0; k < w_.size(); ++k) w_[k] |= o.w_[k];
+  }
+  /// this = a | (b & ~mask)
+  void assign_union_minus(const RegBits& a, const RegBits& b,
+                          const RegBits& mask) {
+    for (size_t k = 0; k < w_.size(); ++k)
+      w_[k] = a.w_[k] | (b.w_[k] & ~mask.w_[k]);
+  }
+  bool operator==(const RegBits& o) const { return w_ == o.w_; }
+
+  template <typename F>
+  void for_each(F&& f) const {
+    for (size_t k = 0; k < w_.size(); ++k) {
+      u64 w = w_[k];
+      while (w) {
+        const int b = __builtin_ctzll(w);
+        f(static_cast<i32>(k * 64 + static_cast<size_t>(b)));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<u64> w_;
+};
+
 }  // namespace
 
 RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg) {
   VUV_CHECK(!prog.allocated, "program already register-allocated");
+
+  const VregSpace vr(prog);
 
   // ---- linearize ------------------------------------------------------------
   const i32 nblocks = static_cast<i32>(prog.blocks.size());
@@ -43,64 +103,100 @@ RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg) {
   }
 
   // ---- liveness (backward dataflow over the CFG) ---------------------------
-  using RegSet = std::set<std::pair<int, i32>>;  // (class, id)
-  auto key = [](const Reg& r) {
-    return std::pair<int, i32>{static_cast<int>(r.cls), r.id};
-  };
-
-  std::vector<RegSet> use(nblocks), def(nblocks), live_in(nblocks), live_out(nblocks);
-  for (i32 b = 0; b < nblocks; ++b) {
-    for (const Operation& op : prog.blocks[b].ops) {
-      for_each_use(op, [&](const Reg& r) {
-        if (!def[b].count(key(r))) use[b].insert(key(r));
-      });
-      if (op.dst.valid() && op.dst.cls != RegClass::kSpecial)
-        def[b].insert(key(op.dst));
+  // Only registers that are upward-exposed in some block (read before any
+  // local definition) can ever be live across an edge: dataflow bits can
+  // only originate in a use set. Everything else is block-local and needs
+  // no dataflow at all, so the bitsets below run over the (much smaller)
+  // compacted space of cross-block candidates rather than the full virtual
+  // register space.
+  std::vector<i32> dense_id(static_cast<size_t>(vr.total), -1);
+  std::vector<Reg> dense_reg;  // dense id -> register
+  std::vector<std::vector<i32>> use_list(nblocks), def_list(nblocks);
+  {
+    std::vector<i32> def_epoch(static_cast<size_t>(vr.total), -1);
+    std::vector<i32> use_epoch(static_cast<size_t>(vr.total), -1);
+    for (i32 b = 0; b < nblocks; ++b) {
+      for (const Operation& op : prog.blocks[b].ops) {
+        for_each_use(op, [&](const Reg& r) {
+          const i32 f = vr.index(r);
+          if (def_epoch[static_cast<size_t>(f)] == b) return;
+          if (use_epoch[static_cast<size_t>(f)] == b) return;
+          use_epoch[static_cast<size_t>(f)] = b;
+          use_list[b].push_back(f);
+          if (dense_id[static_cast<size_t>(f)] < 0) {
+            dense_id[static_cast<size_t>(f)] = static_cast<i32>(dense_reg.size());
+            dense_reg.push_back(r);
+          }
+        });
+        if (op.dst.valid() && op.dst.cls != RegClass::kSpecial) {
+          const i32 f = vr.index(op.dst);
+          if (def_epoch[static_cast<size_t>(f)] != b) {
+            def_epoch[static_cast<size_t>(f)] = b;
+            def_list[b].push_back(f);
+          }
+        }
+      }
     }
   }
+  const i32 ndense = static_cast<i32>(dense_reg.size());
 
-  auto successors = [&](i32 b) {
-    std::vector<i32> out;
+  std::vector<RegBits> use(nblocks), def(nblocks), live_in(nblocks),
+      live_out(nblocks);
+  for (i32 b = 0; b < nblocks; ++b) {
+    use[b].resize_for(ndense);
+    def[b].resize_for(ndense);
+    live_in[b].resize_for(ndense);
+    live_out[b].resize_for(ndense);
+    for (const i32 f : use_list[b]) use[b].set(dense_id[static_cast<size_t>(f)]);
+    for (const i32 f : def_list[b])
+      if (const i32 d = dense_id[static_cast<size_t>(f)]; d >= 0) def[b].set(d);
+  }
+
+  std::vector<std::vector<i32>> successors(nblocks);
+  for (i32 b = 0; b < nblocks; ++b) {
     const BasicBlock& blk = prog.blocks[b];
-    if (blk.fallthrough >= 0) out.push_back(blk.fallthrough);
+    if (blk.fallthrough >= 0) successors[b].push_back(blk.fallthrough);
     if (const Operation* t = blk.terminator();
         t && (t->info().flags.branch || t->info().flags.jump))
-      out.push_back(t->target_block);
-    return out;
-  };
+      successors[b].push_back(t->target_block);
+  }
 
+  RegBits out, in;
+  out.resize_for(ndense);
+  in.resize_for(ndense);
   bool changed = true;
   while (changed) {
     changed = false;
     for (i32 b = nblocks - 1; b >= 0; --b) {
-      RegSet out;
-      for (i32 s : successors(b))
-        out.insert(live_in[s].begin(), live_in[s].end());
-      RegSet in = use[b];
-      for (const auto& k : out)
-        if (!def[b].count(k)) in.insert(k);
-      if (out != live_out[b] || in != live_in[b]) {
-        live_out[b] = std::move(out);
-        live_in[b] = std::move(in);
+      out.resize_for(ndense);  // zero
+      for (i32 s : successors[b]) out.or_with(live_in[s]);
+      in.assign_union_minus(use[b], out, def[b]);
+      if (!(out == live_out[b]) || !(in == live_in[b])) {
+        std::swap(live_out[b], out);
+        std::swap(live_in[b], in);
         changed = true;
       }
     }
   }
 
   // ---- intervals -------------------------------------------------------------
-  std::map<std::pair<int, i32>, Interval> intervals;
+  // Indexed by flat virtual register; start == -1 marks "no interval yet".
+  std::vector<Interval> interval(static_cast<size_t>(vr.total),
+                                 Interval{Reg{}, -1, -1});
   auto extend = [&](const Reg& r, i64 at) {
-    auto [it, inserted] = intervals.try_emplace(key(r), Interval{r, at, at});
-    if (!inserted) {
-      it->second.start = std::min(it->second.start, at);
-      it->second.end = std::max(it->second.end, at);
+    Interval& iv = interval[static_cast<size_t>(vr.index(r))];
+    if (iv.start < 0) {
+      iv = Interval{r, at, at};
+    } else {
+      iv.start = std::min(iv.start, at);
+      iv.end = std::max(iv.end, at);
     }
   };
   for (i32 b = 0; b < nblocks; ++b) {
-    for (const auto& k : live_in[b])
-      extend(Reg{static_cast<RegClass>(k.first), k.second}, block_start[b]);
-    for (const auto& k : live_out[b])
-      extend(Reg{static_cast<RegClass>(k.first), k.second}, block_end[b]);
+    live_in[b].for_each(
+        [&](i32 d) { extend(dense_reg[static_cast<size_t>(d)], block_start[b]); });
+    live_out[b].for_each(
+        [&](i32 d) { extend(dense_reg[static_cast<size_t>(d)], block_end[b]); });
     i64 p = block_start[b];
     for (const Operation& op : prog.blocks[b].ops) {
       for_each_use(op, [&](const Reg& r) { extend(r, p); });
@@ -120,15 +216,19 @@ RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg) {
     }
   };
 
+  // Collect in flat-index order — (class, id) ascending — so the unstable
+  // sort below sees the same input permutation the map-based implementation
+  // produced and assigns identical physical registers.
   std::vector<Interval> sorted;
-  sorted.reserve(intervals.size());
-  for (auto& [k, iv] : intervals) sorted.push_back(iv);
+  sorted.reserve(static_cast<size_t>(vr.total));
+  for (const Interval& iv : interval)
+    if (iv.start >= 0) sorted.push_back(iv);
   std::sort(sorted.begin(), sorted.end(), [](const Interval& a, const Interval& b) {
     return a.start < b.start || (a.start == b.start && a.end < b.end);
   });
 
   RegAllocStats stats;
-  std::map<std::pair<int, i32>, i32> phys;  // virtual -> physical
+  std::vector<i32> phys(static_cast<size_t>(vr.total), -1);
   // Per class: free list and active set ordered by end position. The free
   // list is a FIFO so physical registers are reused round-robin: reusing the
   // most-recently-freed register (LIFO) would create dense false WAR/WAW
@@ -158,16 +258,16 @@ RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg) {
     const i32 p = free_regs[c].front();
     free_regs[c].pop_front();
     act.emplace(iv.end, p);
-    phys[{c, iv.reg.id}] = p;
+    phys[static_cast<size_t>(vr.index(iv.reg))] = p;
     stats.peak[c] = std::max(stats.peak[c], static_cast<i32>(act.size()));
   }
 
   // ---- rewrite -----------------------------------------------------------------
   auto remap = [&](Reg& r) {
     if (!r.valid() || r.cls == RegClass::kSpecial) return;
-    auto it = phys.find(key(r));
-    VUV_CHECK(it != phys.end(), "register without interval");
-    r.id = it->second;
+    const i32 p = phys[static_cast<size_t>(vr.index(r))];
+    VUV_CHECK(p >= 0, "register without interval");
+    r.id = p;
   };
   for (BasicBlock& blk : prog.blocks) {
     for (Operation& op : blk.ops) {

@@ -91,11 +91,77 @@ Reg written_special(const Operation& op) {
   }
 }
 
+/// Per-program scratch shared by every BlockScheduler: flat last-writer /
+/// reader tables over the physical register space (plus VL/VS), reset
+/// between blocks by undoing only the entries a block touched. Replaces
+/// per-block std::map-keyed tracking, which dominated compile time.
+class SchedScratch {
+ public:
+  explicit SchedScratch(const MachineConfig& cfg) {
+    const i32 counts[6] = {0, cfg.int_regs, cfg.simd_regs, cfg.vec_regs,
+                           cfg.acc_regs, 2 /* VL, VS */};
+    i32 total = 0;
+    for (int c = 0; c < 6; ++c) {
+      off_[c] = total;
+      total += counts[c];
+    }
+    last_def_.assign(static_cast<size_t>(total), -1);
+    readers_.assign(static_cast<size_t>(total), {});
+    dirty_.assign(static_cast<size_t>(total), 0);
+    touched_.reserve(static_cast<size_t>(total));
+  }
+
+  i32 index(const Reg& r) const {
+    return off_[static_cast<size_t>(r.cls)] + r.id;
+  }
+
+  void reset() {
+    for (const i32 r : touched_) {
+      last_def_[static_cast<size_t>(r)] = -1;
+      readers_[static_cast<size_t>(r)].clear();
+      dirty_[static_cast<size_t>(r)] = 0;
+    }
+    touched_.clear();
+    mem_ops.clear();
+  }
+
+  i32 last_def(i32 r) const { return last_def_[static_cast<size_t>(r)]; }
+  const std::vector<i32>& readers(i32 r) const {
+    return readers_[static_cast<size_t>(r)];
+  }
+
+  void add_reader(i32 r, i32 op) {
+    touch(r);
+    readers_[static_cast<size_t>(r)].push_back(op);
+  }
+  void set_def(i32 r, i32 op) {
+    touch(r);
+    last_def_[static_cast<size_t>(r)] = op;
+    readers_[static_cast<size_t>(r)].clear();
+  }
+
+  std::vector<i32> mem_ops;  // indices of memory ops seen so far
+
+ private:
+  void touch(i32 r) {
+    if (!dirty_[static_cast<size_t>(r)]) {
+      dirty_[static_cast<size_t>(r)] = 1;
+      touched_.push_back(r);
+    }
+  }
+
+  std::array<i32, 6> off_{};
+  std::vector<i32> last_def_;
+  std::vector<std::vector<i32>> readers_;
+  std::vector<u8> dirty_;
+  std::vector<i32> touched_;
+};
+
 class BlockScheduler {
  public:
   BlockScheduler(const BasicBlock& blk, const MachineConfig& cfg, i32 entry_vl,
-                 i32 entry_vs)
-      : blk_(blk), cfg_(cfg) {
+                 i32 entry_vs, SchedScratch& scratch)
+      : blk_(blk), cfg_(cfg), scratch_(scratch) {
     const i32 n = static_cast<i32>(blk.ops.size());
     vl_.assign(n, 16);
     vs_.assign(n, kUnknownVl);
@@ -108,6 +174,22 @@ class BlockScheduler {
       if (op.op == Opcode::SETVL) vl = kUnknownVl;
       if (op.op == Opcode::SETVSI) vs = static_cast<i32>(op.imm);
       if (op.op == Opcode::SETVS) vs = kUnknownVl;
+    }
+    // Per-op latency descriptors (paper Fig. 3), computed once: build_edges
+    // and list_schedule used to re-derive them through op_info per edge.
+    tlr_.assign(n, 0);
+    tlw_.assign(n, 0);
+    occ_.assign(n, 1);
+    for (i32 i = 0; i < n; ++i) {
+      const OpInfo& info = blk.ops[i].info();
+      if (!info.flags.vector) {
+        tlw_[i] = info.latency;
+        continue;
+      }
+      const i64 r = rate(i);
+      tlr_[i] = (vl_[i] - 1) / r;
+      tlw_[i] = info.latency + (vl_[i] - 1) / r;
+      occ_[i] = ceil_div(vl_[i], r);
     }
   }
 
@@ -125,24 +207,9 @@ class BlockScheduler {
     return cfg_.lanes;
   }
 
-  Cycle tlr(i32 i) const {
-    const Operation& op = blk_.ops[i];
-    if (!op.info().flags.vector) return 0;
-    return (vl_[i] - 1) / rate(i);
-  }
-
-  Cycle tlw(i32 i) const {
-    const Operation& op = blk_.ops[i];
-    const Cycle L = op.info().latency;
-    if (!op.info().flags.vector) return L;
-    return L + (vl_[i] - 1) / rate(i);
-  }
-
-  Cycle occupancy(i32 i) const {
-    const Operation& op = blk_.ops[i];
-    if (!op.info().flags.vector) return 1;
-    return ceil_div(vl_[i], rate(i));
-  }
+  Cycle tlr(i32 i) const { return tlr_[i]; }
+  Cycle tlw(i32 i) const { return tlw_[i]; }
+  Cycle occupancy(i32 i) const { return occ_[i]; }
 
   BlockSchedule run() {
     build_edges();
@@ -161,31 +228,25 @@ class BlockScheduler {
     const i32 n = static_cast<i32>(blk_.ops.size());
     succ_.assign(n, {});
     pred_count_.assign(n, 0);
-
-    // last writer / readers per register
-    std::map<std::pair<int, i32>, i32> last_def;
-    std::map<std::pair<int, i32>, std::vector<i32>> readers_since_def;
-    auto key = [](const Reg& r) {
-      return std::pair<int, i32>{static_cast<int>(r.cls), r.id};
-    };
-
-    std::vector<i32> mem_ops;  // indices of memory ops seen so far
+    term_ = -1;
+    scratch_.reset();
 
     for (i32 j = 0; j < n; ++j) {
       const Operation& op = blk_.ops[j];
       const OpInfo& info = op.info();
 
       // Register reads: architectural srcs plus implicit VL/VS reads.
-      std::vector<Reg> reads;
+      std::array<Reg, 5> reads;
+      int nreads = 0;
       for (u8 s = 0; s < info.nsrc; ++s)
-        if (op.src[s].valid()) reads.push_back(op.src[s]);
-      if (info.flags.reads_vl) reads.push_back(reg_vl());
-      if (info.flags.reads_vs) reads.push_back(reg_vs());
+        if (op.src[s].valid()) reads[static_cast<size_t>(nreads++)] = op.src[s];
+      if (info.flags.reads_vl) reads[static_cast<size_t>(nreads++)] = reg_vl();
+      if (info.flags.reads_vs) reads[static_cast<size_t>(nreads++)] = reg_vs();
 
-      for (const Reg& r : reads) {
-        auto it = last_def.find(key(r));
-        if (it != last_def.end()) {
-          const i32 i = it->second;
+      for (int k = 0; k < nreads; ++k) {
+        const Reg r = reads[static_cast<size_t>(k)];
+        const i32 fr = scratch_.index(r);
+        if (const i32 i = scratch_.last_def(fr); i >= 0) {
           // RAW. Chaining: a vector op consuming a vector register may start
           // once the producer's first elements are available (offset = the
           // producer's flow latency), because both proceed at compatible
@@ -200,33 +261,30 @@ class BlockScheduler {
           }
           add_edge(i, j, lat);
         }
-        readers_since_def[key(r)].push_back(j);
+        scratch_.add_reader(fr, j);
       }
 
       // Register writes: dst plus special-register writes.
-      std::vector<Reg> writes;
-      if (op.dst.valid()) writes.push_back(op.dst);
-      if (const Reg sp = written_special(op); sp.valid()) writes.push_back(sp);
+      std::array<Reg, 2> writes;
+      int nwrites = 0;
+      if (op.dst.valid()) writes[static_cast<size_t>(nwrites++)] = op.dst;
+      if (const Reg sp = written_special(op); sp.valid())
+        writes[static_cast<size_t>(nwrites++)] = sp;
 
-      for (const Reg& w : writes) {
+      for (int k = 0; k < nwrites; ++k) {
+        const i32 fw = scratch_.index(writes[static_cast<size_t>(k)]);
         // WAR edges from readers since the previous def.
-        auto rit = readers_since_def.find(key(w));
-        if (rit != readers_since_def.end()) {
-          for (i32 i : rit->second)
-            if (i != j)
-              add_edge(i, j, tlr(i) + 1 - blk_.ops[j].info().latency);
-        }
+        for (i32 i : scratch_.readers(fw))
+          if (i != j) add_edge(i, j, tlr(i) + 1 - info.latency);
         // WAW edge from previous def.
-        auto dit = last_def.find(key(w));
-        if (dit != last_def.end())
-          add_edge(dit->second, j, std::max<Cycle>(1, tlw(dit->second) - tlw(j) + 1));
-        last_def[key(w)] = j;
-        readers_since_def[key(w)].clear();
+        if (const i32 i = scratch_.last_def(fw); i >= 0)
+          add_edge(i, j, std::max<Cycle>(1, tlw(i) - tlw(j) + 1));
+        scratch_.set_def(fw, j);
       }
 
       // Memory dependences.
       if (info.flags.mem_load || info.flags.mem_store) {
-        for (i32 i : mem_ops) {
+        for (i32 i : scratch_.mem_ops) {
           const OpInfo& pi = blk_.ops[i].info();
           const bool both_loads = pi.flags.mem_load && info.flags.mem_load;
           if (both_loads) continue;
@@ -240,13 +298,17 @@ class BlockScheduler {
             add_edge(i, j, lat);
           }
         }
-        mem_ops.push_back(j);
+        scratch_.mem_ops.push_back(j);
       }
 
       // Everything precedes the terminator (it must sit in the last word).
+      // Kept implicit — one counter and a flag instead of j materialized
+      // zero-latency edges, which made edge building O(n^2) in block size.
       const bool is_term = info.flags.branch || info.flags.jump || info.flags.halt;
-      if (is_term)
-        for (i32 i = 0; i < j; ++i) add_edge(i, j, 0);
+      if (is_term) {
+        term_ = j;
+        pred_count_[j] += j;
+      }
     }
   }
 
@@ -262,6 +324,7 @@ class BlockScheduler {
     for (i32 i = n - 1; i >= 0; --i) {
       Cycle p = occupancy(i);
       for (const Edge& e : succ_[i]) p = std::max(p, e.lat + prio_[e.to]);
+      if (term_ >= 0 && i < term_) p = std::max(p, prio_[term_]);
       prio_[i] = p;
     }
   }
@@ -289,7 +352,6 @@ class BlockScheduler {
 
     std::vector<Cycle> earliest(n, 0);
     std::vector<i32> preds_left = pred_count_;
-    std::vector<bool> done(n, false);
 
     Pool ints(cfg_.int_units), simds(cfg_.simd_units), vecs(cfg_.vec_units),
         l1(cfg_.l1_ports), l2(cfg_.l2_ports), br(cfg_.branch_units);
@@ -306,55 +368,104 @@ class BlockScheduler {
       return nullptr;
     };
 
+    // Candidate order of the original per-cycle rescan-and-sort: highest
+    // priority first, index-ascending on ties. `released` holds every op
+    // whose predecessors have all issued, kept sorted; ops released while
+    // placing cycle t only become candidates from t+1 (as before, where the
+    // ready list was snapshotted at the top of each cycle).
+    auto before = [&](i32 a, i32 b) {
+      return prio_[a] > prio_[b] || (prio_[a] == prio_[b] && a < b);
+    };
+    std::vector<i32> released;
+    for (i32 i = 0; i < n; ++i)
+      if (preds_left[i] == 0) released.push_back(i);
+    std::sort(released.begin(), released.end(), before);
+
+    std::vector<i32> newly, word;
     i32 remaining = n;
     Cycle t = 0;
-    std::map<Cycle, std::vector<i32>> words;
     while (remaining > 0) {
-      // Ready ops at time t, highest priority first.
-      std::vector<i32> ready;
-      for (i32 i = 0; i < n; ++i)
-        if (!done[i] && preds_left[i] == 0 && earliest[i] <= t) ready.push_back(i);
-      std::sort(ready.begin(), ready.end(), [&](i32 a, i32 b) {
-        return prio_[a] > prio_[b] || (prio_[a] == prio_[b] && a < b);
-      });
+      word.clear();
+      newly.clear();
+      i32 slots = cfg_.issue_width;
+      bool deferred = false;  // a ready candidate could not be placed at t
+      size_t keep = 0;
 
-      i32 slots = cfg_.issue_width - static_cast<i32>(words[t].size());
-      for (i32 i : ready) {
-        if (slots <= 0) break;
-        Pool* pool = pool_for(blk_.ops[i].info().fu);
-        if (pool && !pool->try_take(t, occupancy(i))) continue;
-        done[i] = true;
+      auto release = [&](i32 to) {
+        if (--preds_left[to] == 0) newly.push_back(to);
+      };
+
+      for (size_t ri = 0; ri < released.size(); ++ri) {
+        const i32 i = released[ri];
+        if (earliest[i] > t) {
+          released[keep++] = i;
+          continue;
+        }
+        if (slots <= 0) {
+          deferred = true;
+          released[keep++] = i;
+          continue;
+        }
+        Pool* pool = pool_for(blk_.ops[static_cast<size_t>(i)].info().fu);
+        if (pool && !pool->try_take(t, occupancy(i))) {
+          deferred = true;
+          released[keep++] = i;
+          continue;
+        }
         out.issue[i] = t;
-        out.sched_vl[i] = blk_.ops[i].info().flags.vector ? vl_[i] : 1;
-        words[t].push_back(i);
+        out.sched_vl[i] = blk_.ops[static_cast<size_t>(i)].info().flags.vector ? vl_[i] : 1;
+        word.push_back(i);
         --slots;
         --remaining;
         for (const Edge& e : succ_[i]) {
           earliest[e.to] = std::max(earliest[e.to], t + e.lat);
-          --preds_left[e.to];
+          release(e.to);
+        }
+        if (term_ >= 0 && i != term_) {
+          earliest[term_] = std::max(earliest[term_], t);
+          release(term_);
         }
       }
-      if (remaining > 0) ++t;
-      VUV_CHECK(t < 1'000'000, "scheduler failed to converge");
+      released.resize(keep);
+      for (const i32 i : newly)
+        released.insert(
+            std::lower_bound(released.begin(), released.end(), i, before), i);
+
+      if (!word.empty()) {
+        VliwWord w;
+        w.cycle = t;
+        w.ops = std::move(word);
+        out.words.push_back(std::move(w));
+        word.clear();
+      }
+
+      if (remaining > 0) {
+        if (!deferred && !released.empty()) {
+          // Nothing pending is ready before its earliest time: skip the
+          // cycles the original implementation idled through one by one.
+          Cycle next = earliest[released[0]];
+          for (const i32 i : released) next = std::min(next, earliest[i]);
+          t = std::max(t + 1, next);
+        } else {
+          ++t;
+        }
+        VUV_CHECK(t < 1'000'000, "scheduler failed to converge");
+      }
     }
 
-    for (auto& [cycle, ops] : words) {
-      if (ops.empty()) continue;
-      VliwWord w;
-      w.cycle = cycle;
-      w.ops = std::move(ops);
-      out.words.push_back(std::move(w));
-    }
     out.length = out.words.empty() ? 0 : out.words.back().cycle + 1;
     return out;
   }
 
   const BasicBlock& blk_;
   const MachineConfig& cfg_;
+  SchedScratch& scratch_;
   std::vector<i32> vl_, vs_;  // scheduler-visible VL/VS at each op
+  std::vector<Cycle> tlr_, tlw_, occ_;
   std::vector<std::vector<Edge>> succ_;
   std::vector<i32> pred_count_;
   std::vector<Cycle> prio_;
+  i32 term_ = -1;  // terminator op (implicit 0-latency successor of all)
 };
 
 void check_isa_level(const Program& prog, const MachineConfig& cfg) {
@@ -380,8 +491,10 @@ ScheduledProgram schedule_program(Program prog, const MachineConfig& cfg) {
   ScheduledProgram out;
   out.cfg = cfg;
   out.blocks.reserve(prog.blocks.size());
+  SchedScratch scratch(cfg);
   for (size_t b = 0; b < prog.blocks.size(); ++b) {
-    BlockScheduler sched(prog.blocks[b], cfg, vl.entry_vl[b], vl.entry_vs[b]);
+    BlockScheduler sched(prog.blocks[b], cfg, vl.entry_vl[b], vl.entry_vs[b],
+                         scratch);
     out.blocks.push_back(sched.run());
   }
   out.prog = std::move(prog);

@@ -8,62 +8,93 @@ namespace vuv {
 
 namespace {
 
-/// Runtime functional-unit pool with per-instance busy-until times.
-class Pool {
+/// Runtime functional-unit occupancy, one fixed-size slot array per class.
+/// Same semantics the old per-class Pool had (per-instance busy-until
+/// times, nth-smallest free query, first-free take) but allocation-free:
+/// free_at used to copy the busy vector onto the heap for every query,
+/// once per used FU class per simulated VLIW word.
+class FuTracker {
  public:
-  explicit Pool(i32 count) : busy_(static_cast<size_t>(std::max(count, 0)), 0) {}
+  static constexpr i32 kMaxPerClass = 16;
 
-  /// Earliest cycle at which `want` instances are simultaneously free.
-  Cycle free_at(i32 want) const {
-    if (want <= 0) return 0;
-    VUV_CHECK(static_cast<size_t>(want) <= busy_.size(),
-              "VLIW word over-subscribes a functional-unit class");
-    std::vector<Cycle> b(busy_);
-    std::nth_element(b.begin(), b.begin() + (want - 1), b.end());
+  explicit FuTracker(const MachineConfig& cfg) {
+    init(FuClass::kInt, cfg.int_units);
+    init(FuClass::kMem, cfg.l1_ports);
+    init(FuClass::kBranch, cfg.branch_units);
+    init(FuClass::kSimd, cfg.simd_units);
+    init(FuClass::kVec, cfg.vec_units);
+    init(FuClass::kVecMem, cfg.l2_ports);
+  }
+
+  /// Earliest cycle at which `want` instances of class `f` are
+  /// simultaneously free: the want-th smallest busy-until time.
+  /// Precondition (checked at lowering): 1 <= want <= instance count.
+  Cycle free_at(u8 f, i32 want) const {
+    const Slots& s = cls_[f];
+    std::array<Cycle, kMaxPerClass> b;
+    std::copy_n(s.busy.begin(), static_cast<size_t>(s.n), b.begin());
+    for (i32 i = 0; i < want; ++i) {
+      i32 m = i;
+      for (i32 j = i + 1; j < s.n; ++j)
+        if (b[static_cast<size_t>(j)] < b[static_cast<size_t>(m)]) m = j;
+      std::swap(b[static_cast<size_t>(i)], b[static_cast<size_t>(m)]);
+    }
     return b[static_cast<size_t>(want - 1)];
   }
 
-  void take(Cycle t, Cycle occ) {
-    for (auto& b : busy_)
-      if (b <= t) {
-        b = t + std::max<Cycle>(occ, 1);
+  void take(u8 f, Cycle t, Cycle occ) {
+    Slots& s = cls_[f];
+    for (i32 i = 0; i < s.n; ++i)
+      if (s.busy[static_cast<size_t>(i)] <= t) {
+        s.busy[static_cast<size_t>(i)] = t + std::max<Cycle>(occ, 1);
         return;
       }
     throw InternalError("pool take with no free instance");
   }
 
  private:
-  std::vector<Cycle> busy_;
-};
+  struct Slots {
+    std::array<Cycle, kMaxPerClass> busy{};
+    i32 n = 0;
+  };
 
-i64 uops_of(const Operation& op, i32 vl) {
-  const Opcode o = op.op;
-  if (o >= Opcode::M_PADDB && o <= Opcode::M_PSHUFH) return lanes_of(o);
-  if (o >= Opcode::V_PADDB && o <= Opcode::V_PSHUFH)
-    return static_cast<i64>(vl) * lanes_of(o);
-  switch (o) {
-    case Opcode::VLD:
-    case Opcode::VST: return vl;
-    case Opcode::VSADACC: return static_cast<i64>(vl) * 8;
-    case Opcode::VMACH: return static_cast<i64>(vl) * 4;
-    default: return 1;
+  void init(FuClass f, i32 count) {
+    VUV_CHECK(count <= kMaxPerClass,
+              "functional-unit class exceeds the tracker capacity");
+    cls_[static_cast<size_t>(f)].n = std::max(count, 0);
   }
-}
+
+  std::array<Slots, 7> cls_;
+};
 
 }  // namespace
 
 Cpu::Cpu(const ScheduledProgram& sp, MainMemory& mem)
-    : sp_(sp), cfg_(sp.cfg), mem_(mem) {}
+    : sp_(sp), cfg_(sp.cfg), mem_(mem),
+      own_image_(std::make_unique<ExecImage>(lower_image(sp, sp.cfg))),
+      image_(own_image_.get()) {}
 
 Cpu::Cpu(const ScheduledProgram& sp, const MachineConfig& cfg, MainMemory& mem)
     : sp_(sp), cfg_(cfg), mem_(mem) {
   VUV_CHECK(compile_signature(cfg) == compile_signature(sp.cfg),
             "simulation config is incompatible with the compiled program");
+  own_image_ = std::make_unique<ExecImage>(lower_image(sp, cfg));
+  image_ = own_image_.get();
 }
+
+Cpu::Cpu(const ScheduledProgram& sp, const MachineConfig& cfg, MainMemory& mem,
+         const ExecImage& image)
+    : sp_(sp), cfg_(cfg), mem_(mem), image_(&image) {
+  VUV_CHECK(compile_signature(cfg) == compile_signature(sp.cfg),
+            "simulation config is incompatible with the compiled program");
+}
+
+Cpu::~Cpu() = default;
 
 SimResult Cpu::run(Cycle max_cycles) {
   const MachineConfig& cfg = cfg_;
   const Program& prog = sp_.prog;
+  const ExecImage& im = *image_;
   VUV_CHECK(prog.allocated, "program must be register-allocated");
 
   CpuState st;
@@ -72,27 +103,12 @@ SimResult Cpu::run(Cycle max_cycles) {
   st.vregs.assign(static_cast<size_t>(std::max(cfg.vec_regs, 1)), VecValue{});
   st.aregs.assign(static_cast<size_t>(std::max(cfg.acc_regs, 1)), AccValue{});
 
-  // Scoreboard: per-register ready times (full) and, for vector registers,
-  // the chaining point (first elements available at a sustainable rate).
-  std::vector<Cycle> iready(st.iregs.size(), 0), sready(st.sregs.size(), 0);
-  std::vector<Cycle> vready(st.vregs.size(), 0), vchain(st.vregs.size(), 0);
-  std::vector<Cycle> aready(st.aregs.size(), 0);
-  Cycle vl_ready = 0, vs_ready = 0;
+  // Flat scoreboard: per-register ready times for every register file, the
+  // vector-register chain points, and the VL/VS special registers, all in
+  // one array indexed by the slots the image predecoded (see sim/image.hpp).
+  std::vector<Cycle> board(im.n_slots, 0);
 
-  Pool ints(cfg.int_units), simds(cfg.simd_units), vecs(cfg.vec_units),
-      l1(cfg.l1_ports), l2(cfg.l2_ports), br(cfg.branch_units);
-  auto pool_for = [&](FuClass fu) -> Pool* {
-    switch (fu) {
-      case FuClass::kInt: return &ints;
-      case FuClass::kMem: return &l1;
-      case FuClass::kBranch: return &br;
-      case FuClass::kSimd: return &simds;
-      case FuClass::kVec: return &vecs;
-      case FuClass::kVecMem: return &l2;
-      case FuClass::kNone: return nullptr;
-    }
-    return nullptr;
-  };
+  FuTracker fus(cfg);
 
   MemorySystem memsys(cfg);
   for (const auto& [start, bytes] : warm_) memsys.warm(start, bytes);
@@ -103,16 +119,16 @@ SimResult Cpu::run(Cycle max_cycles) {
   for (size_t i = 0; i < prog.region_names.size(); ++i)
     res.regions[i].name = prog.region_names[i];
 
-  i32 block = prog.entry;
+  i32 block = im.entry;
   Cycle now = 0;
   bool halted = false;
 
-  std::vector<WriteBack> wbs;
-  std::vector<const Operation*> wb_ops;
+  // Hoisted writeback buffer: one slot per op of the widest word, reused
+  // every cycle (execute_decoded redefines all observable fields).
+  std::vector<WriteBack> wbs(static_cast<size_t>(std::max(im.max_word_ops, 1)));
 
   while (!halted) {
-    const BasicBlock& blk = prog.block(block);
-    const BlockSchedule& bs = sp_.blocks[static_cast<size_t>(block)];
+    const DecodedBlock& blk = im.blocks[static_cast<size_t>(block)];
     RegionStats& reg = res.regions[blk.region];
     const Cycle block_entry = now;
 
@@ -121,63 +137,34 @@ SimResult Cpu::run(Cycle max_cycles) {
     Cycle prev_sched = -1, prev_issue = -1;
     Cycle exit_time = block_entry;
 
-    for (const VliwWord& w : bs.words) {
+    for (u32 wi = blk.word_begin; wi != blk.word_end; ++wi) {
+      const DecodedWord& w = im.words[wi];
       // Lockstep base time: preserve the static spacing between words.
       Cycle base = (prev_sched < 0) ? block_entry + w.cycle
                                     : prev_issue + (w.cycle - prev_sched);
       Cycle issue = base;
 
       // ---- pass A: issue-time constraints -------------------------------
-      i32 fu_need[7] = {0, 0, 0, 0, 0, 0, 0};
-      for (i32 oi : w.ops) {
-        const Operation& op = blk.ops[static_cast<size_t>(oi)];
-        const OpInfo& info = op.info();
-        for (u8 s = 0; s < info.nsrc; ++s) {
-          const Reg r = op.src[s];
-          if (!r.valid()) continue;
-          switch (r.cls) {
-            case RegClass::kInt:
-              issue = std::max(issue, iready[static_cast<size_t>(r.id)]);
-              break;
-            case RegClass::kSimd:
-              issue = std::max(issue, sready[static_cast<size_t>(r.id)]);
-              break;
-            case RegClass::kVreg:
-              // Chained consumers (vector ops) need only the chain point.
-              issue = std::max(issue, (info.flags.vector && cfg.chaining)
-                                          ? vchain[static_cast<size_t>(r.id)]
-                                          : vready[static_cast<size_t>(r.id)]);
-              break;
-            case RegClass::kAcc:
-              issue = std::max(issue, aready[static_cast<size_t>(r.id)]);
-              break;
-            default: break;
-          }
-        }
-        if (info.flags.reads_vl) issue = std::max(issue, vl_ready);
-        if (info.flags.reads_vs) issue = std::max(issue, vs_ready);
-        ++fu_need[static_cast<int>(info.fu)];
+      for (u32 oi = w.op_begin; oi != w.op_end; ++oi) {
+        const DecodedOp& d = im.ops[oi];
+        for (u8 s = 0; s < d.n_ready; ++s)
+          issue = std::max(issue, board[d.ready[s]]);
       }
-      for (int f = 1; f < 7; ++f)
-        if (fu_need[f] > 0) {
-          Pool* p = pool_for(static_cast<FuClass>(f));
-          issue = std::max(issue, p->free_at(fu_need[f]));
-        }
+      for (u8 f = 0; f < w.n_fu; ++f)
+        issue = std::max(
+            issue, fus.free_at(w.fu_need[f].first, w.fu_need[f].second));
 
       res.stall_cycles += issue - base;
       if (issue >= max_cycles) throw SimError("simulation exceeded cycle budget");
 
       // ---- pass B: execute, take resources, set ready times ---------------
-      wbs.clear();
-      wb_ops.clear();
-      for (i32 oi : w.ops) {
-        const Operation& op = blk.ops[static_cast<size_t>(oi)];
-        const OpInfo& info = op.info();
+      const u32 nops = w.op_end - w.op_begin;
+      for (u32 k = 0; k < nops; ++k) {
+        const DecodedOp& d = im.ops[w.op_begin + k];
+        WriteBack& wb = wbs[k];
+        const ExecInfo ex = execute_decoded(d, st, mem_, wb);
 
-        WriteBack wb;
-        const ExecInfo ex = execute_op(op, st, mem_, wb);
-
-        Cycle dst_full = issue + info.latency;
+        Cycle dst_full = issue + d.latency;
         Cycle dst_chain = dst_full;
         Cycle occ = 1;
 
@@ -190,42 +177,32 @@ SimResult Cpu::run(Cycle max_cycles) {
           dst_full = mr.ready;
           dst_chain = mr.chain_ready;
           occ = mr.port_busy;
-        } else if (info.flags.vector) {
+        } else if (d.is_vector) {
           // Vector compute: LN sub-operations per cycle.
-          dst_full = issue + info.latency + (ex.vl - 1) / cfg.lanes;
-          dst_chain = issue + info.latency;
+          dst_full = issue + d.latency + (ex.vl - 1) / cfg.lanes;
+          dst_chain = issue + d.latency;
           occ = ceil_div(ex.vl, cfg.lanes);
         }
 
-        if (Pool* p = pool_for(info.fu)) p->take(issue, occ);
+        if (d.fu != 0) fus.take(d.fu, issue, occ);
 
-        if (wb.dst.valid()) {
-          switch (wb.dst.cls) {
-            case RegClass::kInt: iready[static_cast<size_t>(wb.dst.id)] = dst_full; break;
-            case RegClass::kSimd: sready[static_cast<size_t>(wb.dst.id)] = dst_full; break;
-            case RegClass::kVreg:
-              vready[static_cast<size_t>(wb.dst.id)] = dst_full;
-              vchain[static_cast<size_t>(wb.dst.id)] = dst_chain;
-              break;
-            case RegClass::kAcc: aready[static_cast<size_t>(wb.dst.id)] = dst_full; break;
-            default: break;
-          }
+        if (d.wb_full != kNoSlot) {
+          board[d.wb_full] = dst_full;
+          if (d.wb_chain != kNoSlot) board[d.wb_chain] = dst_chain;
         }
-        if (wb.sets_vl) vl_ready = issue + 1;
-        if (wb.sets_vs) vs_ready = issue + 1;
+        if (d.sets_vl) board[im.slot_vl] = issue + 1;
+        if (d.sets_vs) board[im.slot_vs] = issue + 1;
 
         if (ex.branch_taken) {
           taken = true;
-          next_block = op.target_block;
+          next_block = d.target_block;
         }
         if (ex.halted) halted = true;
 
         reg.ops += 1;
-        reg.uops += uops_of(op, ex.vl);
-
-        wbs.push_back(wb);
+        reg.uops += d.uop_fixed + static_cast<i64>(d.uop_per_vl) * ex.vl;
       }
-      for (const WriteBack& wb : wbs) apply_writeback(wb, st);
+      for (u32 k = 0; k < nops; ++k) apply_writeback(wbs[k], st);
 
       reg.words += 1;
       prev_sched = w.cycle;

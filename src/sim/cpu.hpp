@@ -10,6 +10,8 @@
 // a cache miss or bank conflict").
 #pragma once
 
+#include <memory>
+
 #include "mem/hierarchy.hpp"
 #include "sched/schedule.hpp"
 #include "sim/exec.hpp"
@@ -64,6 +66,16 @@ class Cpu {
   /// must outlive the Cpu.
   Cpu(const ScheduledProgram& sp, const MachineConfig& cfg, MainMemory& mem);
 
+  /// As above, but replay a pre-lowered execution image instead of lowering
+  /// one at construction. `image` must come from lower_image(sp, cfg') with
+  /// cfg' compile-compatible with `cfg`, and must outlive the Cpu. This is
+  /// the sweep-runner fast path: one image per compiled program, shared by
+  /// every simulation (both memory modes) of that program.
+  Cpu(const ScheduledProgram& sp, const MachineConfig& cfg, MainMemory& mem,
+      const ExecImage& image);
+
+  ~Cpu();
+
   /// Pre-fill the L3 with an address range before running (see
   /// MemorySystem::warm).
   void warm(Addr start, u32 bytes) { warm_.emplace_back(start, bytes); }
@@ -75,6 +87,8 @@ class Cpu {
   const ScheduledProgram& sp_;
   const MachineConfig& cfg_;  // simulation-time configuration (default sp.cfg)
   MainMemory& mem_;
+  std::unique_ptr<const ExecImage> own_image_;  // set when not shared
+  const ExecImage* image_ = nullptr;
   std::vector<std::pair<Addr, u32>> warm_;
 };
 

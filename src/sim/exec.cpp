@@ -256,50 +256,182 @@ u64 packed_eval(Opcode m_op, u64 a, u64 b, i64 imm) {
   return packed_binary(m_op, a, b);
 }
 
-ExecInfo execute_op(const Operation& op, const CpuState& st, MainMemory& mem,
-                    WriteBack& wb) {
+ExecInfo execute_decoded(const DecodedOp& d, const CpuState& st,
+                         MainMemory& mem, WriteBack& wb) {
   ExecInfo info;
-  wb = WriteBack{};
-  const OpInfo& meta = op.info();
+  // `wb` is a hoisted, reused buffer: reset exactly the fields
+  // apply_writeback gates on; each case below (re)defines everything its
+  // destination class makes observable.
+  wb.dst = Reg{};
+  wb.sets_vl = false;
+  wb.sets_vs = false;
 
-  auto iv = [&](int i) -> u64 { return st.iregs[static_cast<size_t>(op.src[i].id)]; };
-  auto sv = [&](int i) -> u64 { return st.sregs[static_cast<size_t>(op.src[i].id)]; };
+  auto iv = [&](int i) -> u64 { return st.iregs[static_cast<size_t>(d.src[static_cast<size_t>(i)])]; };
+  auto sv = [&](int i) -> u64 { return st.sregs[static_cast<size_t>(d.src[static_cast<size_t>(i)])]; };
   auto vv = [&](int i) -> const VecValue& {
-    return st.vregs[static_cast<size_t>(op.src[i].id)];
+    return st.vregs[static_cast<size_t>(d.src[static_cast<size_t>(i)])];
   };
   auto av = [&](int i) -> const AccValue& {
-    return st.aregs[static_cast<size_t>(op.src[i].id)];
+    return st.aregs[static_cast<size_t>(d.src[static_cast<size_t>(i)])];
   };
   auto set_i = [&](u64 v) {
-    wb.dst = op.dst;
+    wb.dst = d.dst;
     wb.scalar = v;
   };
 
   const i32 vl = static_cast<i32>(st.vl);
 
-  // ---- packed µSIMD -----------------------------------------------------
-  if (op.op >= Opcode::M_PADDB && op.op <= Opcode::M_PSHUFH) {
-    wb.dst = op.dst;
-    wb.scalar = packed_eval(op.op, sv(0), meta.nsrc > 1 ? sv(1) : 0, op.imm);
-    return info;
-  }
-  // ---- packed vector -----------------------------------------------------
-  if (op.op >= Opcode::V_PADDB && op.op <= Opcode::V_PSHUFH) {
-    const Opcode base = vector_base_op(op.op);
-    wb.dst = op.dst;
-    const VecValue& a = vv(0);
-    static const VecValue kZero{};
-    const VecValue& b = meta.nsrc > 1 ? vv(1) : kZero;
-    for (i32 e = 0; e < vl; ++e)
-      wb.vec[static_cast<size_t>(e)] = packed_eval(base, a[static_cast<size_t>(e)],
-                                                   b[static_cast<size_t>(e)], op.imm);
-    info.vl = vl;
-    return info;
+  switch (d.kind) {
+    // ---- packed µSIMD ----------------------------------------------------
+    case ExecKind::kPacked:
+      wb.dst = d.dst;
+      wb.scalar = d.packed_shift
+                      ? packed_shift(d.op, sv(0), d.imm)
+                      : packed_binary(d.op, sv(0), d.nsrc > 1 ? sv(1) : 0);
+      return info;
+
+    // ---- packed vector ---------------------------------------------------
+    case ExecKind::kVecPacked: {
+      wb.dst = d.dst;
+      const VecValue& a = vv(0);
+      if (d.packed_shift) {
+        for (i32 e = 0; e < vl; ++e)
+          wb.vec[static_cast<size_t>(e)] =
+              packed_shift(d.vbase, a[static_cast<size_t>(e)], d.imm);
+      } else {
+        static const VecValue kZero{};
+        const VecValue& b = d.nsrc > 1 ? vv(1) : kZero;
+        for (i32 e = 0; e < vl; ++e)
+          wb.vec[static_cast<size_t>(e)] = packed_binary(
+              d.vbase, a[static_cast<size_t>(e)], b[static_cast<size_t>(e)]);
+      }
+      // Lanes past VL are architecturally zero (the fresh-writeback
+      // semantics the interpretive simulator had).
+      for (i32 e = vl; e < static_cast<i32>(wb.vec.size()); ++e)
+        wb.vec[static_cast<size_t>(e)] = 0;
+      info.vl = vl;
+      return info;
+    }
+
+    // ---- memory ----------------------------------------------------------
+    case ExecKind::kLoad: {
+      const Addr a = static_cast<Addr>(iv(0) + static_cast<u64>(d.imm));
+      wb.dst = d.dst;
+      wb.scalar = mem.load(a, d.mem_bytes, d.mem_sign);
+      info.is_mem = true;
+      info.mem_addr = a;
+      return info;
+    }
+    case ExecKind::kStoreInt: {
+      const Addr a = static_cast<Addr>(iv(1) + static_cast<u64>(d.imm));
+      mem.store(a, d.mem_bytes, iv(0));
+      info.is_mem = true;
+      info.mem_store = true;
+      info.mem_addr = a;
+      return info;
+    }
+    case ExecKind::kStoreSimd: {
+      const Addr a = static_cast<Addr>(iv(1) + static_cast<u64>(d.imm));
+      mem.store(a, d.mem_bytes, sv(0));
+      info.is_mem = true;
+      info.mem_store = true;
+      info.mem_addr = a;
+      return info;
+    }
+    case ExecKind::kVld: {
+      const Addr base = static_cast<Addr>(iv(0) + static_cast<u64>(d.imm));
+      wb.dst = d.dst;
+      for (i32 e = 0; e < vl; ++e)
+        wb.vec[static_cast<size_t>(e)] =
+            mem.load(static_cast<Addr>(base + static_cast<u64>(e) * static_cast<u64>(st.vs)), 8, false);
+      for (i32 e = vl; e < static_cast<i32>(wb.vec.size()); ++e)
+        wb.vec[static_cast<size_t>(e)] = 0;
+      info.is_mem = true;
+      info.mem_vector = true;
+      info.mem_addr = base;
+      info.mem_stride = st.vs;
+      info.mem_vl = vl;
+      info.vl = vl;
+      return info;
+    }
+    case ExecKind::kVst: {
+      const Addr base = static_cast<Addr>(iv(1) + static_cast<u64>(d.imm));
+      const VecValue& v = vv(0);
+      for (i32 e = 0; e < vl; ++e)
+        mem.store(static_cast<Addr>(base + static_cast<u64>(e) * static_cast<u64>(st.vs)), 8,
+                  v[static_cast<size_t>(e)]);
+      info.is_mem = true;
+      info.mem_store = true;
+      info.mem_vector = true;
+      info.mem_addr = base;
+      info.mem_stride = st.vs;
+      info.mem_vl = vl;
+      info.vl = vl;
+      return info;
+    }
+
+    // ---- control ---------------------------------------------------------
+    case ExecKind::kBranch:
+      switch (d.op) {
+        case Opcode::BEQ: info.branch_taken = iv(0) == iv(1); break;
+        case Opcode::BNE: info.branch_taken = iv(0) != iv(1); break;
+        case Opcode::BLT: info.branch_taken = static_cast<i64>(iv(0)) < static_cast<i64>(iv(1)); break;
+        case Opcode::BGE: info.branch_taken = static_cast<i64>(iv(0)) >= static_cast<i64>(iv(1)); break;
+        case Opcode::BLTU: info.branch_taken = iv(0) < iv(1); break;
+        case Opcode::BGEU: info.branch_taken = iv(0) >= iv(1); break;
+        default: throw InternalError("execute_decoded: bad branch opcode");
+      }
+      return info;
+    case ExecKind::kJump: info.branch_taken = true; return info;
+    case ExecKind::kHalt: info.halted = true; return info;
+
+    // ---- vector accumulators ---------------------------------------------
+    case ExecKind::kVsadacc: {
+      wb.dst = d.dst;
+      wb.acc = av(2);
+      const VecValue& a = vv(0);
+      const VecValue& b = vv(1);
+      for (i32 e = 0; e < vl; ++e)
+        for (int l = 0; l < 8; ++l) {
+          const i64 x = static_cast<i64>(get_lane(a[static_cast<size_t>(e)], l, 8));
+          const i64 y = static_cast<i64>(get_lane(b[static_cast<size_t>(e)], l, 8));
+          wb.acc[static_cast<size_t>(l)] =
+              acc_wrap(wb.acc[static_cast<size_t>(l)] + (x > y ? x - y : y - x));
+        }
+      info.vl = vl;
+      return info;
+    }
+    case ExecKind::kVmach: {
+      wb.dst = d.dst;
+      wb.acc = av(2);
+      const VecValue& a = vv(0);
+      const VecValue& b = vv(1);
+      for (i32 e = 0; e < vl; ++e)
+        for (int l = 0; l < 4; ++l) {
+          const i64 x = get_lane_signed(a[static_cast<size_t>(e)], l, 16);
+          const i64 y = get_lane_signed(b[static_cast<size_t>(e)], l, 16);
+          wb.acc[static_cast<size_t>(l)] = acc_wrap(wb.acc[static_cast<size_t>(l)] + x * y);
+        }
+      info.vl = vl;
+      return info;
+    }
+
+    // ---- special registers -----------------------------------------------
+    case ExecKind::kSetVl:
+      wb.sets_vl = true;
+      wb.special = d.op == Opcode::SETVLI ? d.imm : static_cast<i64>(iv(0));
+      return info;
+    case ExecKind::kSetVs:
+      wb.sets_vs = true;
+      wb.special = d.op == Opcode::SETVSI ? d.imm : static_cast<i64>(iv(0));
+      return info;
+
+    case ExecKind::kScalarAlu: break;  // inner dispatch below
   }
 
-  switch (op.op) {
+  switch (d.op) {
     // ---- scalar ----------------------------------------------------------
-    case Opcode::MOVI: set_i(static_cast<u64>(op.imm)); break;
+    case Opcode::MOVI: set_i(static_cast<u64>(d.imm)); break;
     case Opcode::MOV: set_i(iv(0)); break;
     case Opcode::ADD: set_i(iv(0) + iv(1)); break;
     case Opcode::SUB: set_i(iv(0) - iv(1)); break;
@@ -316,13 +448,13 @@ ExecInfo execute_op(const Operation& op, const CpuState& st, MainMemory& mem,
     case Opcode::AND: set_i(iv(0) & iv(1)); break;
     case Opcode::OR: set_i(iv(0) | iv(1)); break;
     case Opcode::XOR: set_i(iv(0) ^ iv(1)); break;
-    case Opcode::ADDI: set_i(iv(0) + static_cast<u64>(op.imm)); break;
-    case Opcode::SLLI: set_i(op.imm >= 64 ? 0 : iv(0) << op.imm); break;
-    case Opcode::SRLI: set_i(op.imm >= 64 ? 0 : iv(0) >> op.imm); break;
-    case Opcode::SRAI: set_i(static_cast<u64>(static_cast<i64>(iv(0)) >> std::min<i64>(op.imm, 63))); break;
-    case Opcode::ANDI: set_i(iv(0) & static_cast<u64>(op.imm)); break;
-    case Opcode::ORI: set_i(iv(0) | static_cast<u64>(op.imm)); break;
-    case Opcode::XORI: set_i(iv(0) ^ static_cast<u64>(op.imm)); break;
+    case Opcode::ADDI: set_i(iv(0) + static_cast<u64>(d.imm)); break;
+    case Opcode::SLLI: set_i(d.imm >= 64 ? 0 : iv(0) << d.imm); break;
+    case Opcode::SRLI: set_i(d.imm >= 64 ? 0 : iv(0) >> d.imm); break;
+    case Opcode::SRAI: set_i(static_cast<u64>(static_cast<i64>(iv(0)) >> std::min<i64>(d.imm, 63))); break;
+    case Opcode::ANDI: set_i(iv(0) & static_cast<u64>(d.imm)); break;
+    case Opcode::ORI: set_i(iv(0) | static_cast<u64>(d.imm)); break;
+    case Opcode::XORI: set_i(iv(0) ^ static_cast<u64>(d.imm)); break;
     case Opcode::SLT: set_i(static_cast<i64>(iv(0)) < static_cast<i64>(iv(1)) ? 1 : 0); break;
     case Opcode::SLTU: set_i(iv(0) < iv(1) ? 1 : 0); break;
     case Opcode::SEQ: set_i(iv(0) == iv(1) ? 1 : 0); break;
@@ -334,139 +466,16 @@ ExecInfo execute_op(const Operation& op, const CpuState& st, MainMemory& mem,
       break;
     }
 
-    // ---- scalar memory ----------------------------------------------------
-    case Opcode::LDB:
-    case Opcode::LDBU:
-    case Opcode::LDH:
-    case Opcode::LDHU:
-    case Opcode::LDW:
-    case Opcode::LDD: {
-      static constexpr struct { Opcode op; int bytes; bool sign; } kLd[] = {
-          {Opcode::LDB, 1, true},  {Opcode::LDBU, 1, false}, {Opcode::LDH, 2, true},
-          {Opcode::LDHU, 2, false}, {Opcode::LDW, 4, true},  {Opcode::LDD, 8, false}};
-      int bytes = 8;
-      bool sign = false;
-      for (const auto& d : kLd)
-        if (d.op == op.op) {
-          bytes = d.bytes;
-          sign = d.sign;
-        }
-      const Addr a = static_cast<Addr>(iv(0) + static_cast<u64>(op.imm));
-      set_i(mem.load(a, bytes, sign));
-      info.is_mem = true;
-      info.mem_addr = a;
-      break;
-    }
-    case Opcode::STB:
-    case Opcode::STH:
-    case Opcode::STW:
-    case Opcode::STD: {
-      const int bytes = op.op == Opcode::STB ? 1 : op.op == Opcode::STH ? 2
-                        : op.op == Opcode::STW ? 4 : 8;
-      const Addr a = static_cast<Addr>(iv(1) + static_cast<u64>(op.imm));
-      mem.store(a, bytes, iv(0));
-      info.is_mem = true;
-      info.mem_store = true;
-      info.mem_addr = a;
-      break;
-    }
-
-    // ---- branches ----------------------------------------------------------
-    case Opcode::BEQ: info.branch_taken = iv(0) == iv(1); break;
-    case Opcode::BNE: info.branch_taken = iv(0) != iv(1); break;
-    case Opcode::BLT: info.branch_taken = static_cast<i64>(iv(0)) < static_cast<i64>(iv(1)); break;
-    case Opcode::BGE: info.branch_taken = static_cast<i64>(iv(0)) >= static_cast<i64>(iv(1)); break;
-    case Opcode::BLTU: info.branch_taken = iv(0) < iv(1); break;
-    case Opcode::BGEU: info.branch_taken = iv(0) >= iv(1); break;
-    case Opcode::JMP: info.branch_taken = true; break;
-    case Opcode::HALT: info.halted = true; break;
-
-    // ---- µSIMD support ------------------------------------------------------
-    case Opcode::LDQS: {
-      const Addr a = static_cast<Addr>(iv(0) + static_cast<u64>(op.imm));
-      wb.dst = op.dst;
-      wb.scalar = mem.load(a, 8, false);
-      info.is_mem = true;
-      info.mem_addr = a;
-      break;
-    }
-    case Opcode::STQS: {
-      const Addr a = static_cast<Addr>(iv(1) + static_cast<u64>(op.imm));
-      mem.store(a, 8, sv(0));
-      info.is_mem = true;
-      info.mem_store = true;
-      info.mem_addr = a;
-      break;
-    }
-    case Opcode::MOVIS: wb.dst = op.dst; wb.scalar = static_cast<u64>(op.imm); break;
-    case Opcode::MOVI2S: wb.dst = op.dst; wb.scalar = iv(0); break;
+    // ---- µSIMD / accumulator support -------------------------------------
+    case Opcode::MOVIS: wb.dst = d.dst; wb.scalar = static_cast<u64>(d.imm); break;
+    case Opcode::MOVI2S: wb.dst = d.dst; wb.scalar = iv(0); break;
     case Opcode::MOVS2I: set_i(sv(0)); break;
-    case Opcode::PEXTRH: set_i(get_lane(sv(0), static_cast<int>(op.imm), 16)); break;
+    case Opcode::PEXTRH: set_i(get_lane(sv(0), static_cast<int>(d.imm), 16)); break;
     case Opcode::PINSRH:
-      wb.dst = op.dst;
-      wb.scalar = set_lane(sv(0), static_cast<int>(op.imm), 16, iv(1));
+      wb.dst = d.dst;
+      wb.scalar = set_lane(sv(0), static_cast<int>(d.imm), 16, iv(1));
       break;
-
-    // ---- vector support -------------------------------------------------------
-    case Opcode::VLD: {
-      const Addr base = static_cast<Addr>(iv(0) + static_cast<u64>(op.imm));
-      wb.dst = op.dst;
-      for (i32 e = 0; e < vl; ++e)
-        wb.vec[static_cast<size_t>(e)] =
-            mem.load(static_cast<Addr>(base + static_cast<u64>(e) * static_cast<u64>(st.vs)), 8, false);
-      info.is_mem = true;
-      info.mem_vector = true;
-      info.mem_addr = base;
-      info.mem_stride = st.vs;
-      info.mem_vl = vl;
-      info.vl = vl;
-      break;
-    }
-    case Opcode::VST: {
-      const Addr base = static_cast<Addr>(iv(1) + static_cast<u64>(op.imm));
-      const VecValue& v = vv(0);
-      for (i32 e = 0; e < vl; ++e)
-        mem.store(static_cast<Addr>(base + static_cast<u64>(e) * static_cast<u64>(st.vs)), 8,
-                  v[static_cast<size_t>(e)]);
-      info.is_mem = true;
-      info.mem_store = true;
-      info.mem_vector = true;
-      info.mem_addr = base;
-      info.mem_stride = st.vs;
-      info.mem_vl = vl;
-      info.vl = vl;
-      break;
-    }
-    case Opcode::VSADACC: {
-      wb.dst = op.dst;
-      wb.acc = av(2);
-      const VecValue& a = vv(0);
-      const VecValue& b = vv(1);
-      for (i32 e = 0; e < vl; ++e)
-        for (int l = 0; l < 8; ++l) {
-          const i64 x = static_cast<i64>(get_lane(a[static_cast<size_t>(e)], l, 8));
-          const i64 y = static_cast<i64>(get_lane(b[static_cast<size_t>(e)], l, 8));
-          wb.acc[static_cast<size_t>(l)] =
-              acc_wrap(wb.acc[static_cast<size_t>(l)] + (x > y ? x - y : y - x));
-        }
-      info.vl = vl;
-      break;
-    }
-    case Opcode::VMACH: {
-      wb.dst = op.dst;
-      wb.acc = av(2);
-      const VecValue& a = vv(0);
-      const VecValue& b = vv(1);
-      for (i32 e = 0; e < vl; ++e)
-        for (int l = 0; l < 4; ++l) {
-          const i64 x = get_lane_signed(a[static_cast<size_t>(e)], l, 16);
-          const i64 y = get_lane_signed(b[static_cast<size_t>(e)], l, 16);
-          wb.acc[static_cast<size_t>(l)] = acc_wrap(wb.acc[static_cast<size_t>(l)] + x * y);
-        }
-      info.vl = vl;
-      break;
-    }
-    case Opcode::CLRACC: wb.dst = op.dst; break;  // acc zero-initialized in wb
+    case Opcode::CLRACC: wb.dst = d.dst; wb.acc = AccValue{}; break;
     case Opcode::SUMACB: {
       const AccValue& a = av(0);
       i64 sum = 0;
@@ -481,13 +490,9 @@ ExecInfo execute_op(const Operation& op, const CpuState& st, MainMemory& mem,
       set_i(static_cast<u64>(sum));
       break;
     }
-    case Opcode::SETVLI: wb.sets_vl = true; wb.special = op.imm; break;
-    case Opcode::SETVL: wb.sets_vl = true; wb.special = static_cast<i64>(iv(0)); break;
-    case Opcode::SETVSI: wb.sets_vs = true; wb.special = op.imm; break;
-    case Opcode::SETVS: wb.sets_vs = true; wb.special = static_cast<i64>(iv(0)); break;
 
     default:
-      throw InternalError(std::string("execute_op: unhandled ") + meta.name);
+      throw InternalError(std::string("execute_decoded: unhandled ") + op_name(d.op));
   }
   return info;
 }

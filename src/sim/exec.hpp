@@ -1,12 +1,15 @@
 // Functional semantics of every operation. The simulator executes real data
 // so application outputs can be verified bit-exactly against the golden
-// media library.
+// media library. Execution dispatches over the predecoded DecodedOp form
+// (see sim/image.hpp): opcode metadata, register indices and memory access
+// shapes were all resolved at lowering time, so the interpreter touches no
+// OpInfo tables.
 #pragma once
 
 #include <array>
 
-#include "isa/operation.hpp"
 #include "mem/mainmem.hpp"
+#include "sim/image.hpp"
 
 namespace vuv {
 
@@ -52,10 +55,12 @@ struct ExecInfo {
   i32 vl = 1;
 };
 
-/// Evaluate one operation: reads `st` (and memory for loads), performs
-/// stores into `mem`, returns the deferred register writeback in `wb`.
-ExecInfo execute_op(const Operation& op, const CpuState& st, MainMemory& mem,
-                    WriteBack& wb);
+/// Evaluate one decoded operation: reads `st` (and memory for loads),
+/// performs stores into `mem`, returns the deferred register writeback in
+/// `wb`. `wb` may be a reused buffer: every field apply_writeback observes
+/// is (re)defined before return.
+ExecInfo execute_decoded(const DecodedOp& d, const CpuState& st,
+                         MainMemory& mem, WriteBack& wb);
 
 /// Apply a deferred writeback to the state.
 void apply_writeback(const WriteBack& wb, CpuState& st);

@@ -79,6 +79,18 @@ std::vector<MachineConfig> MachineConfig::all_table2() {
           musimd(8),  vector1(2), vector1(4), vector2(2), vector2(4)};
 }
 
+MachineConfig MachineConfig::table2_by_name(const std::string& name) {
+  for (const MachineConfig& c : all_table2())
+    if (name == c.name) return c;
+  std::string valid;
+  for (const MachineConfig& c : all_table2()) {
+    if (!valid.empty()) valid += ' ';
+    valid += c.name;
+  }
+  throw Error("unknown configuration: " + name + " (expected one of: " +
+              valid + ")");
+}
+
 std::string compile_signature(const MachineConfig& c) {
   std::string s;
   s.reserve(128);

@@ -87,6 +87,10 @@ struct MachineConfig {
 
   /// All ten configurations of Table 2 in paper order.
   static std::vector<MachineConfig> all_table2();
+
+  /// The Table-2 configuration called `name`. Throws Error listing the
+  /// valid names.
+  static MachineConfig table2_by_name(const std::string& name);
 };
 
 /// Stable textual key of every field that influences compilation (register

@@ -1,0 +1,39 @@
+// Small argument-parsing helpers shared by the vuv_* command-line tools.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace vuv {
+namespace cli {
+
+inline std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// Parse a strictly positive integer option value. Rejects non-numeric
+/// input, trailing junk, zero and negative values with a clear error
+/// instead of the undefined/surprising behavior of a bare atoi/stoi.
+inline i32 parse_positive_int(const std::string& flag, const std::string& v) {
+  errno = 0;
+  char* end = nullptr;
+  const long n = std::strtol(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE ||
+      n <= 0 || n > 1'000'000)
+    throw Error("invalid value for " + flag + ": '" + v +
+                "' (expected a positive integer)");
+  return static_cast<i32>(n);
+}
+
+}  // namespace cli
+}  // namespace vuv

@@ -1,0 +1,128 @@
+// vuv_perf — measure host-side simulator throughput over a sweep matrix
+// and emit PERF_host.json (see src/perf/host_perf.hpp).
+//
+//   vuv_perf                                   # full 60-cell matrix
+//   vuv_perf --jobs 4 --out PERF_host.json
+//   vuv_perf --baseline perf/baseline.json --max-regress 2.0
+//
+// With --baseline, exits non-zero when the measured whole-matrix wall time
+// exceeds baseline * max-regress — the CI perf gate. The threshold is
+// deliberately generous: shared CI runners are noisy, and the gate exists
+// to catch order-of-magnitude hot-path regressions, not percent drift.
+#include <fstream>
+#include <iostream>
+
+#include "cli.hpp"
+#include "perf/host_perf.hpp"
+
+using namespace vuv;
+
+namespace {
+
+const char kUsage[] = R"(usage: vuv_perf [options]
+
+Measure host simulator throughput (wall time, simulated cycles/second)
+over an (app x config) sweep matrix and write PERF_host.json.
+
+options:
+  --apps a,b,...       apps to run (default: all six)
+  --configs a,b,...    Table-2 configuration names (default: all ten)
+  --jobs N             worker threads (default: hardware concurrency)
+  --perfect            measure the perfect-memory matrix instead
+  --out PATH           output JSON path (default: PERF_host.json; - = stdout)
+  --name NAME          bench name embedded in the JSON (default: host_perf)
+  --baseline PATH      compare against a committed PERF_host.json baseline
+  --max-regress X      fail if wall_seconds > baseline * X (default 2.0)
+  -h, --help           this text
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<App> apps = all_apps();
+  std::vector<MachineConfig> cfgs = MachineConfig::all_table2();
+  RunnerOptions opts;
+  bool perfect = false;
+  std::string out_path = "PERF_host.json", name = "host_perf", baseline;
+  double max_regress = 2.0;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "-h" || arg == "--help") {
+        std::cout << kUsage;
+        return 0;
+      } else if (arg == "--apps") {
+        apps.clear();
+        for (const std::string& n : cli::split_csv(value()))
+          apps.push_back(app_by_name(n));
+      } else if (arg == "--configs") {
+        cfgs.clear();
+        for (const std::string& n : cli::split_csv(value()))
+          cfgs.push_back(MachineConfig::table2_by_name(n));
+      } else if (arg == "--jobs") {
+        opts.jobs = cli::parse_positive_int(arg, value());
+      } else if (arg == "--perfect") {
+        perfect = true;
+      } else if (arg == "--out") {
+        out_path = value();
+      } else if (arg == "--name") {
+        name = value();
+      } else if (arg == "--baseline") {
+        baseline = value();
+      } else if (arg == "--max-regress") {
+        try {
+          size_t len = 0;
+          max_regress = std::stod(value(), &len);
+          if (len == 0 || max_regress <= 0) throw std::invalid_argument("");
+        } catch (const std::exception&) {
+          throw Error("invalid value for --max-regress (expected a positive number)");
+        }
+      } else {
+        throw Error("unknown option: " + arg + " (see --help)");
+      }
+    }
+
+    const SweepSpec spec = SweepSpec::matrix(apps, cfgs, {perfect});
+    if (spec.empty()) throw Error("the sweep spec selected no cells");
+
+    std::cerr << "[vuv_perf] measuring " << spec.size() << " cells\n";
+    const HostPerf perf = measure_host_perf(spec, opts);
+
+    if (out_path == "-") {
+      write_host_perf_json(std::cout, perf, name);
+    } else {
+      std::ofstream f(out_path);
+      if (!f) throw Error("cannot write " + out_path);
+      write_host_perf_json(f, perf, name);
+      std::cout << "[vuv_perf] wrote " << out_path << "\n";
+    }
+    std::cerr << "[vuv_perf] " << perf.cells << " cells on " << perf.jobs
+              << " worker(s): " << perf.wall_seconds << "s wall, "
+              << perf.simulated_cycles << " simulated cycles ("
+              << perf.cycles_per_second / 1e6 << " Mcycles/s)\n";
+
+    if (!baseline.empty()) {
+      std::ifstream bf(baseline);
+      if (!bf) throw Error("cannot read baseline " + baseline);
+      const double base = read_baseline_wall_seconds(bf);
+      const double ratio = base > 0 ? perf.wall_seconds / base : 0.0;
+      std::cerr << "[vuv_perf] baseline " << base << "s, measured "
+                << perf.wall_seconds << "s (" << ratio << "x, limit "
+                << max_regress << "x)\n";
+      if (ratio > max_regress) {
+        std::cerr << "[vuv_perf] PERF REGRESSION: wall time exceeds "
+                  << max_regress << "x the committed baseline\n";
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "vuv_perf: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -10,11 +10,10 @@
 // spec order and contain no host timing. Wall time and compile-cache
 // statistics go to stderr only.
 #include <chrono>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
+#include "cli.hpp"
 #include "common/table.hpp"
 #include "runner/report.hpp"
 #include "runner/runner.hpp"
@@ -33,6 +32,7 @@ options:
   --configs a,b,...  Table-2 configuration names (default: all ten)
                      e.g. VLIW-2w uSIMD-4w Vector1-2w Vector2-4w
   --jobs N           worker threads (default: hardware concurrency)
+  --list             print the available apps and configurations and exit
   --perfect          simulate with perfect memory (paper 5.1) instead of
                      the realistic hierarchy
   --filter SUBSTR    keep only cells whose key contains SUBSTR
@@ -44,25 +44,13 @@ options:
   -h, --help         this text
 )";
 
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ','))
-    if (!item.empty()) out.push_back(item);
-  return out;
-}
-
-App app_by_name(const std::string& name) {
-  for (App a : all_apps())
-    if (name == app_name(a)) return a;
-  throw Error("unknown app: " + name);
-}
-
-MachineConfig config_by_name(const std::string& name) {
+void print_list() {
+  std::cout << "apps:";
+  for (App a : all_apps()) std::cout << ' ' << app_name(a);
+  std::cout << "\nconfigs:";
   for (const MachineConfig& c : MachineConfig::all_table2())
-    if (name == c.name) return c;
-  throw Error("unknown configuration: " + name + " (expected a Table-2 name)");
+    std::cout << ' ' << c.name;
+  std::cout << "\n";
 }
 
 }  // namespace
@@ -86,14 +74,17 @@ int main(int argc, char** argv) {
         return 0;
       } else if (arg == "--apps") {
         apps.clear();
-        for (const std::string& n : split_csv(value()))
+        for (const std::string& n : cli::split_csv(value()))
           apps.push_back(app_by_name(n));
       } else if (arg == "--configs") {
         cfgs.clear();
-        for (const std::string& n : split_csv(value()))
-          cfgs.push_back(config_by_name(n));
+        for (const std::string& n : cli::split_csv(value()))
+          cfgs.push_back(MachineConfig::table2_by_name(n));
       } else if (arg == "--jobs") {
-        opts.jobs = std::stoi(value());
+        opts.jobs = cli::parse_positive_int(arg, value());
+      } else if (arg == "--list") {
+        print_list();
+        return 0;
       } else if (arg == "--perfect") {
         perfect = true;
       } else if (arg == "--filter") {

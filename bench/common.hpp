@@ -21,7 +21,9 @@
 namespace vuv {
 namespace bench {
 
-inline const std::vector<App> kApps = all_apps();
+/// The paper's six-app suite (Table 1). The paper-figure benches sweep this
+/// fixed matrix; extra workload families (imgpipe) have their own benches.
+inline const std::vector<App> kApps = table1_apps();
 
 inline const char* kAppLabels[] = {"JPEG_ENC",  "JPEG_DEC", "MPEG2_ENC",
                                    "MPEG2_DEC", "GSM_ENC",  "GSM_DEC"};

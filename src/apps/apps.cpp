@@ -12,6 +12,7 @@ const char* app_name(App a) {
     case App::kMpeg2Dec: return "mpeg2_dec";
     case App::kGsmEnc: return "gsm_enc";
     case App::kGsmDec: return "gsm_dec";
+    case App::kImgPipe: return "imgpipe";
   }
   return "?";
 }
@@ -25,9 +26,15 @@ const char* variant_name(Variant v) {
   return "?";
 }
 
-std::vector<App> all_apps() {
+std::vector<App> table1_apps() {
   return {App::kJpegEnc, App::kJpegDec, App::kMpeg2Enc,
           App::kMpeg2Dec, App::kGsmEnc, App::kGsmDec};
+}
+
+std::vector<App> all_apps() {
+  std::vector<App> apps = table1_apps();
+  apps.push_back(App::kImgPipe);
+  return apps;
 }
 
 App app_by_name(const std::string& name) {
@@ -58,6 +65,7 @@ BuiltApp build_app(App app, Variant variant) {
     case App::kMpeg2Dec: return build_mpeg2_dec(variant);
     case App::kGsmEnc: return build_gsm_enc(variant);
     case App::kGsmDec: return build_gsm_dec(variant);
+    case App::kImgPipe: return build_imgpipe(variant);
   }
   throw InternalError("bad app");
 }

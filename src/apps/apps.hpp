@@ -1,7 +1,9 @@
-// The six benchmark applications (paper Table 1), each hand-written in
-// three ISA variants against the ProgramBuilder API — the equivalent of the
-// paper's emulation-library methodology. Vector regions are marked with the
-// region ids of Table 1 (R1..R3); everything else is the scalar region R0.
+// The benchmark applications, each hand-written in three ISA variants
+// against the ProgramBuilder API — the equivalent of the paper's
+// emulation-library methodology: the six codecs of paper Table 1 plus the
+// imgpipe camera→ASCII pipeline added on top of the paper's suite. Vector
+// regions are marked with Table-1-style region ids (R1..R3); everything
+// else is the scalar region R0.
 #pragma once
 
 #include <functional>
@@ -14,11 +16,24 @@
 
 namespace vuv {
 
-enum class App { kJpegEnc, kJpegDec, kMpeg2Enc, kMpeg2Dec, kGsmEnc, kGsmDec };
+enum class App {
+  kJpegEnc, kJpegDec, kMpeg2Enc, kMpeg2Dec, kGsmEnc, kGsmDec,
+  kImgPipe,  // camera→ASCII image pipeline (not in paper Table 1)
+};
 enum class Variant { kScalar, kMusimd, kVector };
 
 const char* app_name(App a);
 const char* variant_name(Variant v);
+
+/// The six codec applications of paper Table 1, in paper order. This is the
+/// default sweep matrix (60 cells with Table 2) — the paper-reproduction
+/// benches, the default vuv_sweep/vuv_perf matrices and the committed perf
+/// baseline all key off it, so later workload additions must not grow it.
+std::vector<App> table1_apps();
+
+/// Every registered application: Table 1 plus the additions (imgpipe).
+/// Registry-wide harnesses (the apps matrix test, --apps name lookup)
+/// iterate this, so a new app registered here gets coverage automatically.
 std::vector<App> all_apps();
 
 /// Inverse of app_name. Throws Error naming the valid spellings.
@@ -41,12 +56,30 @@ struct BuiltApp {
 BuiltApp build_app(App app, Variant variant);
 
 // Per-app builders (implemented in jpeg_app.cpp / mpeg2_app.cpp /
-// gsm_app.cpp).
+// gsm_app.cpp / imgpipe_app.cpp).
 BuiltApp build_jpeg_enc(Variant v);
 BuiltApp build_jpeg_dec(Variant v);
 BuiltApp build_mpeg2_enc(Variant v);
 BuiltApp build_mpeg2_dec(Variant v);
 BuiltApp build_gsm_enc(Variant v);
 BuiltApp build_gsm_dec(Variant v);
+
+/// imgpipe workload parameters. The defaults are what App::kImgPipe runs;
+/// tests build other sizes/contents directly. Constraints (asserted):
+/// width a multiple of 16, height a multiple of 4, width >= 16, height >= 8.
+struct ImgPipeParams {
+  i32 width = 64;
+  i32 height = 64;
+  u64 seed = 7;
+};
+
+/// Simulated-buffer layout of an imgpipe build, for tests that read stage
+/// outputs back out of the workspace after simulation.
+struct ImgPipeLayout {
+  Buffer luma, down, edges, glyphs;
+};
+
+BuiltApp build_imgpipe(Variant v, const ImgPipeParams& params = {},
+                       ImgPipeLayout* layout = nullptr);
 
 }  // namespace vuv

@@ -7,7 +7,7 @@ namespace {
 /// Shared tail of every run: simulate `sp` under `cfg` against the built
 /// app's workspace, then verify the simulated outputs. `image`, when given,
 /// is the shared pre-lowered execution image of `sp`.
-AppResult simulate_built(BuiltApp built, const ScheduledProgram& sp,
+AppResult simulate_built(BuiltApp& built, const ScheduledProgram& sp,
                          const MachineConfig& cfg,
                          const ExecImage* image = nullptr) {
   Cpu cpu = image ? Cpu(sp, cfg, built.ws->mem(), *image)
@@ -27,20 +27,29 @@ AppResult simulate_built(BuiltApp built, const ScheduledProgram& sp,
 
 AppResult run_app_variant(App app, Variant variant, MachineConfig cfg,
                           bool perfect_memory) {
-  cfg.mem.perfect = perfect_memory;
   BuiltApp built = build_app(app, variant);
+  return run_built(built, std::move(cfg), perfect_memory);
+}
+
+AppResult run_built(BuiltApp& built, MachineConfig cfg, bool perfect_memory) {
+  VUV_CHECK(!built.program.blocks.empty(),
+            "run_built consumes the program: rebuild the app to run again");
+  cfg.mem.perfect = perfect_memory;
   const ScheduledProgram sp = compile(std::move(built.program), cfg);
-  return simulate_built(std::move(built), sp, cfg);
+  built.program = Program{};  // moved-from: make the single-use state explicit
+  return simulate_built(built, sp, cfg);
 }
 
 AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
                        const MachineConfig& cfg) {
-  return simulate_built(build_app(app, variant), sp, cfg);
+  BuiltApp built = build_app(app, variant);
+  return simulate_built(built, sp, cfg);
 }
 
 AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
                        const ExecImage& image, const MachineConfig& cfg) {
-  return simulate_built(build_app(app, variant), sp, cfg, &image);
+  BuiltApp built = build_app(app, variant);
+  return simulate_built(built, sp, cfg, &image);
 }
 
 AppResult run_app(App app, MachineConfig cfg, bool perfect_memory) {

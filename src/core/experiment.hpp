@@ -43,4 +43,11 @@ AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
 AppResult run_compiled(App app, Variant variant, const ScheduledProgram& sp,
                        const ExecImage& image, const MachineConfig& cfg);
 
+/// Compile and simulate an app built by the caller (e.g. a parameterized
+/// imgpipe instance) in place: `built.ws` keeps the simulated outputs, so
+/// tests can read stage buffers back after the run. Single-use — the call
+/// consumes `built.program` (asserted), so build again to run again.
+AppResult run_built(BuiltApp& built, MachineConfig cfg,
+                    bool perfect_memory = false);
+
 }  // namespace vuv

@@ -1,0 +1,88 @@
+#include "media/imgpipe.hpp"
+
+#include "common/error.hpp"
+
+namespace vuv {
+
+const std::array<u8, 16>& imgpipe_ramp() {
+  // 16 glyphs from sparse to dense, so `v >> 4` indexes directly.
+  static const std::array<u8, 16> ramp = {' ', '.', ',', ':', ';', 'i',
+                                          '1', 't', 'f', 'L', 'G', '0',
+                                          '8', '@', '#', 'M'};
+  return ramp;
+}
+
+std::vector<u8> imgpipe_luma(const RgbImage& img) {
+  const size_t n = img.r.size();
+  std::vector<u8> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int y = (77 * img.r[i] + 150 * img.g[i] + 29 * img.b[i]) >> 8;
+    out[i] = static_cast<u8>(y);
+  }
+  return out;
+}
+
+std::vector<u8> imgpipe_downscale2x(const std::vector<u8>& plane, i32 w,
+                                    i32 h) {
+  VUV_CHECK(w % 2 == 0 && h % 2 == 0, "downscale2x needs even dimensions");
+  const i32 dw = w / 2, dh = h / 2;
+  std::vector<u8> out(static_cast<size_t>(dw) * static_cast<size_t>(dh));
+  for (i32 y = 0; y < dh; ++y)
+    for (i32 x = 0; x < dw; ++x) {
+      const size_t s = static_cast<size_t>(2 * y) * static_cast<size_t>(w) +
+                       static_cast<size_t>(2 * x);
+      const int sum = plane[s] + plane[s + 1] +
+                      plane[s + static_cast<size_t>(w)] +
+                      plane[s + static_cast<size_t>(w) + 1];
+      out[static_cast<size_t>(y) * static_cast<size_t>(dw) +
+          static_cast<size_t>(x)] = static_cast<u8>((sum + 2) >> 2);
+    }
+  return out;
+}
+
+std::vector<u8> imgpipe_sobel(const std::vector<u8>& plane, i32 w, i32 h) {
+  std::vector<u8> out(static_cast<size_t>(w) * static_cast<size_t>(h));
+  auto px = [&](i32 x, i32 y) -> int {
+    x = x < 0 ? 0 : (x >= w ? w - 1 : x);
+    y = y < 0 ? 0 : (y >= h ? h - 1 : y);
+    return plane[static_cast<size_t>(y) * static_cast<size_t>(w) +
+                 static_cast<size_t>(x)];
+  };
+  for (i32 y = 0; y < h; ++y)
+    for (i32 x = 0; x < w; ++x) {
+      const int gx = (px(x + 1, y - 1) - px(x - 1, y - 1)) +
+                     2 * (px(x + 1, y) - px(x - 1, y)) +
+                     (px(x + 1, y + 1) - px(x - 1, y + 1));
+      const int gy = (px(x - 1, y + 1) + 2 * px(x, y + 1) + px(x + 1, y + 1)) -
+                     (px(x - 1, y - 1) + 2 * px(x, y - 1) + px(x + 1, y - 1));
+      const int m = (gx < 0 ? -gx : gx) + (gy < 0 ? -gy : gy);
+      out[static_cast<size_t>(y) * static_cast<size_t>(w) +
+          static_cast<size_t>(x)] = static_cast<u8>(m > 255 ? 255 : m);
+    }
+  return out;
+}
+
+std::vector<u8> imgpipe_ascii(const std::vector<u8>& luma,
+                              const std::vector<u8>& edges) {
+  VUV_CHECK(luma.size() == edges.size(), "ascii stage plane size mismatch");
+  const std::array<u8, 16>& ramp = imgpipe_ramp();
+  std::vector<u8> out(luma.size());
+  for (size_t i = 0; i < luma.size(); ++i) {
+    const int v = ((luma[i] * 3) >> 2) + edges[i];
+    out[i] = ramp[static_cast<size_t>((v > 255 ? 255 : v) >> 4)];
+  }
+  return out;
+}
+
+ImgPipeResult imgpipe_run(const RgbImage& img) {
+  ImgPipeResult r;
+  r.width = img.width / 2;
+  r.height = img.height / 2;
+  r.luma = imgpipe_luma(img);
+  r.down = imgpipe_downscale2x(r.luma, img.width, img.height);
+  r.edges = imgpipe_sobel(r.down, r.width, r.height);
+  r.glyphs = imgpipe_ascii(r.down, r.edges);
+  return r;
+}
+
+}  // namespace vuv

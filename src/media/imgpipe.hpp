@@ -1,0 +1,52 @@
+// imgpipe: golden reference for the camera→ASCII image pipeline, the fourth
+// application domain next to the JPEG / MPEG-2 / GSM codecs. The pipeline is
+// the classic real-time terminal-video loop: planar RGB capture → luma
+// extraction → bilinear 2× downscale → 3×3 Sobel edge extraction →
+// quantize + glyph mapping. Every stage is exact integer arithmetic so the
+// simulated scalar, µSIMD and Vector-µSIMD programs can be verified
+// bit-for-bit against this reference (see DESIGN.md "imgpipe reference
+// semantics").
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+#include "media/workload.hpp"
+
+namespace vuv {
+
+/// The 16-glyph brightness ramp used by the quantize stage (dark → bright).
+const std::array<u8, 16>& imgpipe_ramp();
+
+/// ITU-style luma: y = (77 r + 150 g + 29 b) >> 8, one byte per pixel.
+std::vector<u8> imgpipe_luma(const RgbImage& img);
+
+/// Bilinear 2×2 box downscale with round-half-up:
+/// out[y][x] = (p(2x,2y) + p(2x+1,2y) + p(2x,2y+1) + p(2x+1,2y+1) + 2) >> 2.
+/// `w` and `h` must be even; output is (w/2) x (h/2).
+std::vector<u8> imgpipe_downscale2x(const std::vector<u8>& plane, i32 w, i32 h);
+
+/// 3×3 Sobel gradient magnitude with replicated (clamped) borders:
+/// m = min(255, |gx| + |gy|).
+std::vector<u8> imgpipe_sobel(const std::vector<u8>& plane, i32 w, i32 h);
+
+/// Quantize/glyph mapping: v = min(255, ((luma * 3) >> 2) + edge), glyph =
+/// ramp[v >> 4] — edges punch through toward the dense end of the ramp.
+std::vector<u8> imgpipe_ascii(const std::vector<u8>& luma,
+                              const std::vector<u8>& edges);
+
+/// Every stage output of one pipeline run (all verified by the simulated
+/// applications; `width`/`height` are the glyph-grid dimensions, w/2 x h/2).
+struct ImgPipeResult {
+  i32 width = 0;
+  i32 height = 0;
+  std::vector<u8> luma;    // full-resolution luma plane
+  std::vector<u8> down;    // downscaled luma
+  std::vector<u8> edges;   // Sobel magnitude of `down`
+  std::vector<u8> glyphs;  // ASCII codes, one per downscaled pixel
+};
+
+ImgPipeResult imgpipe_run(const RgbImage& img);
+
+}  // namespace vuv

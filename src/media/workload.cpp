@@ -1,5 +1,6 @@
 #include "media/workload.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace vuv {
@@ -29,6 +30,69 @@ RgbImage make_test_image(i32 width, i32 height, u64 seed) {
       img.g[i] = px(60 + 150 * fy);
       img.b[i] = px(200 - 120 * fx * fy);
     }
+  }
+  return img;
+}
+
+RgbImage make_camera_frame(i32 width, i32 height, u64 seed) {
+  RgbImage img;
+  img.width = width;
+  img.height = height;
+  const size_t n = static_cast<size_t>(width) * static_cast<size_t>(height);
+  img.r.resize(n);
+  img.g.resize(n);
+  img.b.resize(n);
+  Rng rng(seed);
+
+  // Lit background: diagonal gradient per channel.
+  for (i32 y = 0; y < height; ++y)
+    for (i32 x = 0; x < width; ++x) {
+      const size_t i = static_cast<size_t>(y) * static_cast<size_t>(width) +
+                       static_cast<size_t>(x);
+      img.r[i] = static_cast<u8>(30 + (160 * x) / width);
+      img.g[i] = static_cast<u8>(50 + (140 * y) / height);
+      img.b[i] = static_cast<u8>(70 + (120 * (x + y)) / (width + height));
+    }
+
+  auto fill = [&](i32 x0, i32 y0, i32 x1, i32 y1, u8 cr, u8 cg, u8 cb,
+                  bool disk) {
+    const i32 cx = (x0 + x1) / 2, cy = (y0 + y1) / 2;
+    const i32 rad = std::max(1, std::min(x1 - x0, y1 - y0) / 2);
+    for (i32 y = std::max(0, y0); y < std::min(height, y1); ++y)
+      for (i32 x = std::max(0, x0); x < std::min(width, x1); ++x) {
+        if (disk &&
+            (x - cx) * (x - cx) + (y - cy) * (y - cy) > rad * rad)
+          continue;
+        const size_t i = static_cast<size_t>(y) * static_cast<size_t>(width) +
+                         static_cast<size_t>(x);
+        img.r[i] = cr;
+        img.g[i] = cg;
+        img.b[i] = cb;
+      }
+  };
+
+  // Seeded foreground shapes: hard edges in random places and colors.
+  const int shapes = 4 + static_cast<int>(rng.below(4));
+  for (int s = 0; s < shapes; ++s) {
+    const i32 x0 = static_cast<i32>(rng.below(static_cast<u32>(width)));
+    const i32 y0 = static_cast<i32>(rng.below(static_cast<u32>(height)));
+    const i32 sw = 2 + static_cast<i32>(rng.below(static_cast<u32>(width / 2 + 1)));
+    const i32 sh = 2 + static_cast<i32>(rng.below(static_cast<u32>(height / 2 + 1)));
+    fill(x0, y0, x0 + sw, y0 + sh, static_cast<u8>(rng.below(256)),
+         static_cast<u8>(rng.below(256)), static_cast<u8>(rng.below(256)),
+         /*disk=*/(s % 2) == 1);
+  }
+
+  // Sensor noise on every channel.
+  for (size_t i = 0; i < n; ++i) {
+    auto jitter = [&](u8 v) {
+      const int d = static_cast<int>(rng.below(7)) - 3;
+      const int j = v + d;
+      return static_cast<u8>(j < 0 ? 0 : (j > 255 ? 255 : j));
+    };
+    img.r[i] = jitter(img.r[i]);
+    img.g[i] = jitter(img.g[i]);
+    img.b[i] = jitter(img.b[i]);
   }
   return img;
 }

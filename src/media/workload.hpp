@@ -23,6 +23,13 @@ struct RgbImage {
 /// Smooth color gradients + sinusoidal texture + mild noise.
 RgbImage make_test_image(i32 width, i32 height, u64 seed = 1);
 
+/// Camera-like frame for the imgpipe family: a lit gradient background with
+/// seeded rectangles and disks (hard edges for the Sobel stage) plus sensor
+/// noise. Different seeds move/recolor the shapes, so the pipeline sees
+/// genuinely different content per seed. (No default seed: the pipeline's
+/// default content is defined by ImgPipeParams in apps/apps.hpp.)
+RgbImage make_camera_frame(i32 width, i32 height, u64 seed);
+
 /// Grey frames with global translation (dx,dy) plus local texture, so
 /// full-search motion estimation has genuine work to do.
 std::vector<std::vector<u8>> make_test_video(i32 width, i32 height, i32 frames,

@@ -25,7 +25,9 @@ Measure host simulator throughput (wall time, simulated cycles/second)
 over an (app x config) sweep matrix and write PERF_host.json.
 
 options:
-  --apps a,b,...       apps to run (default: all six)
+  --apps a,b,...       apps to run (default: the six Table-1 codecs; the
+                       committed baseline is keyed to that matrix, so the
+                       opt-in imgpipe app never skews the gate)
   --configs a,b,...    Table-2 configuration names (default: all ten)
   --jobs N             worker threads (default: hardware concurrency)
   --perfect            measure the perfect-memory matrix instead
@@ -39,7 +41,7 @@ options:
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<App> apps = all_apps();
+  std::vector<App> apps = table1_apps();
   std::vector<MachineConfig> cfgs = MachineConfig::all_table2();
   RunnerOptions opts;
   bool perfect = false;

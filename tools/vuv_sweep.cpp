@@ -27,8 +27,11 @@ const char kUsage[] = R"(usage: vuv_sweep [options]
 Run (app x config x memory-mode) sweeps on the parallel runner.
 
 options:
-  --apps a,b,...     apps to run (default: all six)
-                     names: jpeg_enc jpeg_dec mpeg2_enc mpeg2_dec gsm_enc gsm_dec
+  --apps a,b,...     apps to run (default: the six Table-1 codecs)
+                     names: jpeg_enc jpeg_dec mpeg2_enc mpeg2_dec gsm_enc
+                     gsm_dec imgpipe — imgpipe is opt-in so the default
+                     60-cell matrix (and the perf baseline keyed to it)
+                     stays stable
   --configs a,b,...  Table-2 configuration names (default: all ten)
                      e.g. VLIW-2w uSIMD-4w Vector1-2w Vector2-4w
   --jobs N           worker threads (default: hardware concurrency)
@@ -46,7 +49,13 @@ options:
 
 void print_list() {
   std::cout << "apps:";
-  for (App a : all_apps()) std::cout << ' ' << app_name(a);
+  for (App a : table1_apps()) std::cout << ' ' << app_name(a);
+  std::cout << "\nopt-in apps:";
+  for (App a : all_apps()) {
+    bool in_default = false;
+    for (App t : table1_apps()) in_default |= t == a;
+    if (!in_default) std::cout << ' ' << app_name(a);
+  }
   std::cout << "\nconfigs:";
   for (const MachineConfig& c : MachineConfig::all_table2())
     std::cout << ' ' << c.name;
@@ -56,7 +65,7 @@ void print_list() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<App> apps = all_apps();
+  std::vector<App> apps = table1_apps();
   std::vector<MachineConfig> cfgs = MachineConfig::all_table2();
   RunnerOptions opts;
   bool perfect = false;

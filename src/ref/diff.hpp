@@ -1,0 +1,47 @@
+// Differential check: reference interpreter vs. the full compile+simulate
+// pipeline. The interpreter executes the unscheduled program in program
+// order; the simulator register-allocates, schedules, predecodes and
+// replays it cycle by cycle. Their observable effects must agree:
+//
+//   - final memory is bit-exact (the architectural output channel; the two
+//     sides disagree on register *names* — virtual vs physical — so state
+//     comparison goes through memory, which generated programs and the
+//     apps both dump their live registers into);
+//   - dynamic op / µop / taken-branch counts match;
+//   - simulated cycles respect the static-schedule lower bound
+//     (sum of executed block schedule lengths + one bubble per taken
+//     control transfer) and the counters are internally consistent.
+#pragma once
+
+#include "ref/interp.hpp"
+#include "sched/schedule.hpp"
+#include "sim/cpu.hpp"
+
+namespace vuv {
+
+enum class DiffKind : u8 {
+  kOk = 0,
+  kRefFault,  // the interpreter itself trapped (bad program, not a divergence)
+  kSimFault,  // compile/simulate trapped where the interpreter ran clean
+  kMismatch,  // both ran; state/counters/timing diverged
+};
+
+struct DiffReport {
+  bool ok = true;
+  DiffKind kind = DiffKind::kOk;
+  /// Empty when ok; otherwise the first divergence, human-readable.
+  std::string error;
+  SimResult sim;
+  InterpResult ref;
+};
+
+/// Run `prog` through both pipelines against copies of `init_mem` under
+/// `cfg` and compare. `warm_bytes` is pre-warmed into the simulator's
+/// memory hierarchy (the steady-state working set, as run_app does).
+/// Compile/runtime failures are reported as a non-ok DiffReport, except
+/// InternalError which propagates (a bug in vuv itself, not a divergence).
+DiffReport diff_program(const Program& prog, const MainMemory& init_mem,
+                        u32 warm_bytes, const MachineConfig& cfg,
+                        const InterpOptions& iopts = {});
+
+}  // namespace vuv

@@ -1,0 +1,84 @@
+// Architectural reference interpreter — the executable specification the
+// timing simulator is differentially tested against.
+//
+// interpret() runs an *unscheduled* ir::Program op-by-op in program order
+// against plain register files and a MainMemory: no scheduling, no register
+// allocation, no predecoded image, no timing model. It shares only the
+// static opcode metadata in src/isa/ (operand classes, element widths,
+// vector flags) with the simulator; every operation's semantics are
+// implemented here independently of src/sim/exec.cpp, so a bug in either
+// implementation shows up as a divergence (see src/ref/diff.hpp and
+// DESIGN.md, "Reference interpreter semantics").
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "ir/program.hpp"
+#include "mem/mainmem.hpp"
+
+namespace vuv {
+
+/// Architectural state of the reference machine. Mirrors the register
+/// architecture (paper Table 2 / §3.1), not any simulator-internal type:
+/// vector registers are 16 x 64-bit words, accumulators 8 x 48-bit lanes
+/// modelled in host i64.
+struct RefState {
+  std::vector<u64> iregs;
+  std::vector<u64> sregs;
+  std::vector<std::array<u64, 16>> vregs;
+  std::vector<std::array<i64, 8>> aregs;
+  i64 vl = 16;
+  i64 vs = 8;
+};
+
+/// One retirement-trace entry: which static op retired, and a 64-bit digest
+/// of what it wrote (the scalar value, an FNV-1a hash of a vector or
+/// accumulator result, or 0 for ops with no register destination).
+struct RetiredOp {
+  i32 block = -1;
+  i32 op = -1;
+  Opcode opcode = Opcode::HALT;
+  u64 digest = 0;
+};
+
+/// Deliberate specification faults for harness self-tests: a nonzero fault
+/// makes the interpreter mis-implement one opcode so the differential
+/// harness can prove it detects (and shrinks) a semantics divergence
+/// without patching the simulator.
+enum class InterpFault : u8 {
+  kNone = 0,
+  kPaddusbWraps,   // PADDUSB/V_PADDUSB wrap instead of saturating
+  kSrajIgnoresImm, // SRAI ignores the shift amount
+};
+
+struct InterpOptions {
+  /// Retired-operation watchdog (the interpreter has no cycle budget).
+  i64 max_ops = 200'000'000;
+  /// Record a per-op retirement trace (costs memory on big programs).
+  bool record_trace = false;
+  InterpFault fault = InterpFault::kNone;
+};
+
+struct InterpResult {
+  RefState state;
+  i64 retired_ops = 0;
+  /// Dynamic µ-operations, counted with the paper's §3.1 sub-word rules
+  /// (identical formulas to the simulator's statistics).
+  i64 retired_uops = 0;
+  i64 taken_branches = 0;
+  /// Per-block dynamic entry counts (always recorded; O(#blocks) memory).
+  /// Together with a block schedule this yields the exact schedule-length
+  /// lower bound on simulated cycles (see diff.cpp).
+  std::vector<i64> block_counts;
+  std::vector<RetiredOp> trace;  // only when record_trace
+};
+
+/// Execute `prog` to HALT against `mem`. The program may be virtual
+/// (pre-allocation) or physical; register files are sized to fit.
+/// Throws Error on runtime faults (division by zero, VL out of [1,16],
+/// out-of-bounds memory, op-budget exhaustion).
+InterpResult interpret(const Program& prog, MainMemory& mem,
+                       const InterpOptions& opts = {});
+
+}  // namespace vuv

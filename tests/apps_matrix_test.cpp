@@ -12,6 +12,7 @@
 #include <cmath>
 
 #include "core/experiment.hpp"
+#include "ref/interp.hpp"
 
 namespace vuv {
 namespace {
@@ -62,6 +63,46 @@ TEST_P(AppsMatrix, OutputMatchesGolden) {
 
 INSTANTIATE_TEST_SUITE_P(Registry, AppsMatrix,
                          ::testing::ValuesIn(matrix_cases()), case_name);
+
+// ---- third oracle: the architectural reference interpreter ------------------
+// Every registered app x variant also runs through src/ref/interp — no
+// compilation, no scheduling, no timing — and must reproduce the native
+// golden outputs bit-exactly. Closes the triangle: if the simulator matrix
+// above fails, this distinguishes an app-emission bug (interpreter fails
+// too) from a scheduler/simulator bug (interpreter still verifies).
+
+struct InterpCase {
+  App app;
+  Variant variant;
+};
+
+std::vector<InterpCase> interp_cases() {
+  std::vector<InterpCase> cases;
+  for (App app : all_apps())
+    for (Variant v : {Variant::kScalar, Variant::kMusimd, Variant::kVector})
+      cases.push_back(InterpCase{app, v});
+  return cases;
+}
+
+std::string interp_case_name(const ::testing::TestParamInfo<InterpCase>& info) {
+  return std::string(app_name(info.param.app)) + "_" +
+         variant_name(info.param.variant);
+}
+
+class AppsInterpreter : public ::testing::TestWithParam<InterpCase> {};
+
+TEST_P(AppsInterpreter, OutputMatchesGolden) {
+  const InterpCase& c = GetParam();
+  BuiltApp built = build_app(c.app, c.variant);
+  const InterpResult r = interpret(built.program, built.ws->mem());
+  EXPECT_GT(r.retired_ops, 0);
+  const std::string err = built.verify(*built.ws);
+  EXPECT_EQ(err, "") << built.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AppsInterpreter,
+                         ::testing::ValuesIn(interp_cases()),
+                         interp_case_name);
 
 // ---- per-app paper-shape checks (migrated from the ad-hoc app tests) -------
 

@@ -66,12 +66,13 @@ void write_stripe_table(Workspace& ws, const Buffer& buf,
 }
 
 void emit_encode_block(ProgramBuilder& b, BitWriterEmit& bw, Reg base,
-                       u16 coef_group, Reg zzlut, u16 lut_group, Reg dcpred) {
+                       u16 coef_group, Reg zzlut, u16 lut_group, Reg dcpred,
+                       bool update_dcpred) {
   // DC coefficient.
   Reg off0 = b.ldw(zzlut, 0, lut_group);
   Reg dc = b.ldh(b.add(base, off0), 0, coef_group);
   Reg diff = b.sub(dc, dcpred);
-  b.mov_to(dcpred, dc);
+  if (update_dcpred) b.mov_to(dcpred, dc);
   Reg dsize = emit_bitsize(b, b.abs_(diff));
   emit_put_gamma(b, bw, b.addi(dsize, 1));
   bw.put_reg(b, emit_magnitude_bits(b, diff, dsize), dsize);

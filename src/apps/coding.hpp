@@ -31,9 +31,12 @@ void write_stripe_table(Workspace& ws, const Buffer& buf,
 
 /// Encode one quantized block (DC prediction + run/size gamma codes +
 /// magnitude bits), bit-identical to media jpeg/mpeg2 encode_block.
-/// `dcpred` is a register updated in place.
+/// `dcpred` is a register updated in place; callers pass
+/// `update_dcpred = false` for the final block of a prediction chain,
+/// where the updated value has no reader.
 void emit_encode_block(ProgramBuilder& b, BitWriterEmit& bw, Reg base,
-                       u16 coef_group, Reg zzlut, u16 lut_group, Reg dcpred);
+                       u16 coef_group, Reg zzlut, u16 lut_group, Reg dcpred,
+                       bool update_dcpred = true);
 
 /// Decode one block into pre-zeroed coefficient storage.
 void emit_decode_block(ProgramBuilder& b, BitReaderEmit& br, Reg base,

@@ -241,8 +241,12 @@ BuiltApp build_gsm_enc(Variant var) {
   Reg dbuf = b.movi(bufs.d.addr), dpbuf = b.movi(bufs.dp.addr);
   Reg acf = b.movi(bufs.acf.addr), reflq = b.movi(bufs.reflq.addr);
   Reg ebuf = b.movi(bufs.e.addr), epbuf = b.movi(bufs.ep.addr);
-  Reg qlbr = b.movi(bufs.qlb.addr), qlbsp = b.movi(bufs.qlbsplat.addr);
-  Reg qlbv = b.movi(bufs.qlbvec.addr), dlbr = b.movi(bufs.dlb.addr);
+  // Quantized-gain table bases: each variant reads exactly one of the three
+  // layouts (scalar halfwords, µSIMD splat words, vector splat rows).
+  Reg qlbr = var == Variant::kScalar ? b.movi(bufs.qlb.addr) : Reg{};
+  Reg qlbsp = var == Variant::kMusimd ? b.movi(bufs.qlbsplat.addr) : Reg{};
+  Reg qlbv = var == Variant::kVector ? b.movi(bufs.qlbvec.addr) : Reg{};
+  Reg dlbr = b.movi(bufs.dlb.addr);
   Reg outr = b.movi(bufs.out.addr);
   Reg lo16 = b.movi(-32768), hi16 = b.movi(32767);
   Reg kpre = b.movi(28180);
@@ -291,9 +295,13 @@ BuiltApp build_gsm_enc(Variant var) {
         Reg di = b.ldh(b.add(sbuf, b.slli(n, 1)), 0, bufs.s.group);
         Reg sav = b.mov(di);
         for (int k = 0; k < kGsmOrder; ++k) {
-          Reg temp = emit_sat16(b, b.add(u[static_cast<size_t>(k)],
-                                         emit_q15(b, rk[static_cast<size_t>(k)], di)),
-                                lo16, hi16);
+          // The lattice's next sav feeds u[k+1] on the following stage; the
+          // final stage has no consumer, so skip its (dead) computation.
+          Reg temp = k + 1 < kGsmOrder
+                         ? emit_sat16(b, b.add(u[static_cast<size_t>(k)],
+                                               emit_q15(b, rk[static_cast<size_t>(k)], di)),
+                                      lo16, hi16)
+                         : Reg{};
           di = emit_sat16(b, b.add(di, emit_q15(b, rk[static_cast<size_t>(k)],
                                                 u[static_cast<size_t>(k)])),
                           lo16, hi16);
@@ -335,7 +343,12 @@ BuiltApp build_gsm_enc(Variant var) {
         Reg thr = b.ldh(dlbr, 2 * t, bufs.dlb.group);
         b.unless(Opcode::BLT, g, thr, [&] { b.mov_to(gidx, b.movi(t + 1)); });
       }
-      Reg bval = b.ldh(b.add(qlbr, b.slli(gidx, 1)), 0, bufs.qlb.group);
+      // The LTP gain is consumed as a scalar (bval), a µSIMD splat word
+      // (bsplat) or a vector of splat rows — load only the form this
+      // variant's filter actually reads.
+      Reg bval = var == Variant::kScalar
+                     ? b.ldh(b.add(qlbr, b.slli(gidx, 1)), 0, bufs.qlb.group)
+                     : Reg{};
       Reg bsplat = var == Variant::kMusimd
                        ? b.ldqs(b.add(qlbsp, b.slli(gidx, 3)), 0, bufs.qlbsplat.group)
                        : (var == Variant::kVector
@@ -358,7 +371,8 @@ BuiltApp build_gsm_enc(Variant var) {
           b.mov_to(en, b.add(en, b.mul(v, v)));
         }
         b.unless(Opcode::BGE, bestE, en, [&] {
-          b.mov_to(bestE, en);
+          // No later grid compares against bestE after the last candidate.
+          if (mgrid + 1 < 4) b.mov_to(bestE, en);
           b.mov_to(grid, b.movi(mgrid));
         });
       }
@@ -446,8 +460,10 @@ BuiltApp build_gsm_dec(Variant var) {
   ProgramBuilder b;
   Reg inr = b.movi(in.addr);
   Reg dpbuf = b.movi(bufs.dp.addr), epbuf = b.movi(bufs.ep.addr);
-  Reg qlbr = b.movi(bufs.qlb.addr), qlbsp = b.movi(bufs.qlbsplat.addr);
-  Reg qlbv = b.movi(bufs.qlbvec.addr);
+  // Quantized-gain table bases: one layout per variant (see build_gsm_enc).
+  Reg qlbr = var == Variant::kScalar ? b.movi(bufs.qlb.addr) : Reg{};
+  Reg qlbsp = var == Variant::kMusimd ? b.movi(bufs.qlbsplat.addr) : Reg{};
+  Reg qlbv = var == Variant::kVector ? b.movi(bufs.qlbvec.addr) : Reg{};
   Reg outr = b.movi(outpcm.addr);
   Reg lo16 = b.movi(-32768), hi16 = b.movi(32767);
   Reg kpre = b.movi(28180);
@@ -455,7 +471,7 @@ BuiltApp build_gsm_dec(Variant var) {
   BitReaderEmit br;
   br.init(b, inr, in.group);
 
-  std::array<Reg, 9> v;
+  std::array<Reg, 8> v;  // lattice state v[0..7]; the classic v[8] is write-only
   for (auto& r : v) r = b.movi(0);
   Reg prev = b.movi(0);
 
@@ -481,7 +497,9 @@ BuiltApp build_gsm_dec(Variant var) {
 
       // ---- R1: long-term filtering ----------------------------------------
       b.begin_region(1, "long term filtering");
-      Reg bval = b.ldh(b.add(qlbr, b.slli(gidx, 1)), 0, bufs.qlb.group);
+      Reg bval = var == Variant::kScalar
+                     ? b.ldh(b.add(qlbr, b.slli(gidx, 1)), 0, bufs.qlb.group)
+                     : Reg{};
       Reg bsplat = var == Variant::kMusimd
                        ? b.ldqs(b.add(qlbsp, b.slli(gidx, 3)), 0, bufs.qlbsplat.group)
                        : (var == Variant::kVector
@@ -511,10 +529,13 @@ BuiltApp build_gsm_dec(Variant var) {
         sri = emit_sat16(b, b.sub(sri, emit_q15(b, rk[static_cast<size_t>(k)],
                                                 v[static_cast<size_t>(k)])),
                          lo16, hi16);
-        b.mov_to(v[static_cast<size_t>(k + 1)],
-                 emit_sat16(b, b.add(v[static_cast<size_t>(k)],
-                                     emit_q15(b, rk[static_cast<size_t>(k)], sri)),
-                            lo16, hi16));
+        // The synthesis lattice only ever reads v[0..7]; the reference
+        // code's v[8] slot is write-only, so don't emit its update.
+        if (k + 1 < kGsmOrder)
+          b.mov_to(v[static_cast<size_t>(k + 1)],
+                   emit_sat16(b, b.add(v[static_cast<size_t>(k)],
+                                       emit_q15(b, rk[static_cast<size_t>(k)], sri)),
+                              lo16, hi16));
       }
       b.mov_to(v[0], emit_sat16(b, sri, lo16, hi16));
       Reg o = emit_sat16(b, b.add(sri, emit_q15(b, kpre, prev)), lo16, hi16);

@@ -612,11 +612,12 @@ void emit_upsample_vector(ProgramBuilder& b, const UpsampleBufs& u, Reg pool,
       return [&, row_off](Reg w, i64 off) {
         b.setvs(16);
         b.vst(w, orow, row_off + off, u.ug);
-        b.setvs(8);
       };
     };
     emit_upsample_packed_row(m2, mi, c9, c3, c8, zero, load, store_row(0), 0, -pw);
+    b.setvs(8);
     emit_upsample_packed_row(m2, mi, c9, c3, c8, zero, load, store_row(2 * u.w), 0, pw);
+    b.setvs(8);
   });
 }
 
@@ -793,7 +794,8 @@ BuiltApp build_jpeg_dec(Variant var) {
 
   // R2: h2v2 triangular upsample.
   Reg cbupr = b.movi(cbup.addr), crupr = b.movi(crup.addr);
-  Reg poolr = b.movi(sp.buf.addr);
+  // Splat-constant pool: only the vector upsample/color kernels load it.
+  Reg poolr = var == Variant::kVector ? b.movi(sp.buf.addr) : Reg{};
   b.begin_region(2, "h2v2 upsample");
   UpsampleBufs ub{cbpadr, cbpad.group, cbupr, cbup.group, kCW, kCH};
   UpsampleBufs ur{crpadr, crpad.group, crupr, crup.group, kCW, kCH};

@@ -250,8 +250,10 @@ void emit_motion_search(ProgramBuilder& b, SadCtx& s, Reg ref, u16 refg,
         const bool havg = hx != 0;  // integer centre: frac bit = |hx| here
         const bool vavg = hy != 0;
         Reg sad = emit_sad16(b, s, refc, havg, vavg);
+        // The final candidate has no later compare against `best`.
+        const bool last = hy == 1 && hx == 1;
         b.unless(Opcode::BGE, sad, best, [&] {
-          b.mov_to(best, sad);
+          if (!last) b.mov_to(best, sad);
           b.mov_to(bfx, fx);
           b.mov_to(bfy, fy);
         });
@@ -360,8 +362,10 @@ BuiltApp build_mpeg2_enc(Variant var) {
   m.coef = b.movi(coef.addr);
   m.pred = b.movi(pred.addr);
   m.predg = pred.group;
-  Reg dctpoolr = b.movi(dctpool.addr);
-  Reg batchr = b.movi(batch.addr);
+  // The DCT const pool and slot-major batch area only exist for the vector
+  // DCT kernel; the scalar and µSIMD transforms never touch them.
+  Reg dctpoolr = var == Variant::kVector ? b.movi(dctpool.addr) : Reg{};
+  Reg batchr = var == Variant::kVector ? b.movi(batch.addr) : Reg{};
 
   BitWriterEmit bw;
   Reg outr = b.movi(out.addr);
@@ -374,7 +378,7 @@ BuiltApp build_mpeg2_enc(Variant var) {
     const bool intra = f == 0;
     Reg cur = b.movi(fin[static_cast<size_t>(f)].addr);
     Reg rec = b.movi(frec[static_cast<size_t>(f)].addr);
-    Reg ref = b.movi(frec[0].addr);
+    Reg ref = intra ? Reg{} : b.movi(frec[0].addr);  // intra: no reference
     const u16 curg = fin[static_cast<size_t>(f)].group;
     const u16 recg = frec[static_cast<size_t>(f)].group;
     const u16 refg = frec[0].group;
@@ -442,8 +446,11 @@ BuiltApp build_mpeg2_enc(Variant var) {
 
         // Scalar: quantization, entropy coding, dequantization.
         for (int blk = 0; blk < 4; ++blk) emit_quant_block(b, m, m.block_base(b, blk));
+        const bool last_mb = mby == kMby - 1 && mbx == kMbx - 1;
         for (int blk = 0; blk < 4; ++blk)
-          emit_encode_block(b, bw, m.block_base(b, blk), m.coefg, m.zzlut, m.lutg, dcpred);
+          emit_encode_block(b, bw, m.block_base(b, blk), m.coefg, m.zzlut,
+                            m.lutg, dcpred,
+                            /*update_dcpred=*/!(last_mb && blk == 3));
         for (int blk = 0; blk < 4; ++blk) emit_dequant_block(b, m, m.block_base(b, blk));
 
         // ---- R3: inverse DCT (reconstruction loop) --------------------------
@@ -564,7 +571,6 @@ void emit_form_pred_variant(ProgramBuilder& b, Variant var, Reg ref, u16 refg,
       b.setvs(16);
       b.vst(p, pred, h * 8, predg);
     }
-    b.setvs(kW);
   };
   b.unless(Opcode::BNE, hx, zero, [&] {
     b.unless(Opcode::BNE, hy, zero, [&] { body(false, false); });
@@ -601,8 +607,10 @@ void emit_add_block_variant(ProgramBuilder& b, const MpegCtx& m, Reg rec,
 
   // Vector: per block, 2 strided residual loads + strided pred rows.
   b.setvl(8);
-  Reg zerov = b.vld(c128pool, sp.offset_of(0), sp.buf.group);
-  Reg c128v = b.vld(c128pool, sp.offset_of(128), sp.buf.group);
+  // Complementary constant needs: zerov only feeds the pred-row unpack
+  // (inter blocks), c128v is only the flat 128 prediction (intra blocks).
+  Reg zerov = intra ? Reg{} : b.vld(c128pool, sp.offset_of(0), sp.buf.group);
+  Reg c128v = intra ? b.vld(c128pool, sp.offset_of(128), sp.buf.group) : Reg{};
   for (int blk = 0; blk < 4; ++blk) {
     const i32 bx = (blk & 1) * 8, by = (blk >> 1) * 8;
     b.setvs(128);  // slot stride for rows of this block in the stripe layout
@@ -663,16 +671,18 @@ BuiltApp build_mpeg2_dec(Variant var) {
   m.var = var;
   m.layout = layout;
   m.zzlut = b.movi(zzlut.addr);
-  m.qzz = b.movi(qzz.addr);
+  // m.qzz is left unset: the decoder only dequantizes (szz); the quantizer
+  // reciprocal table is an encoder-side input.
   m.szz = b.movi(szz.addr);
   m.lutg = zzlut.group;
   m.coefg = coef.group;
   m.coef = b.movi(coef.addr);
   m.pred = b.movi(pred.addr);
   m.predg = pred.group;
-  Reg dctpoolr = b.movi(dctpool.addr);
-  Reg batchr = b.movi(batch.addr);
-  Reg spoolr = b.movi(sp.buf.addr);
+  // Const pool / batch area / splat pool are vector-kernel inputs only.
+  Reg dctpoolr = var == Variant::kVector ? b.movi(dctpool.addr) : Reg{};
+  Reg batchr = var == Variant::kVector ? b.movi(batch.addr) : Reg{};
+  Reg spoolr = var == Variant::kVector ? b.movi(sp.buf.addr) : Reg{};
 
   BitReaderEmit br;
   Reg inr = b.movi(in.addr);
@@ -684,7 +694,7 @@ BuiltApp build_mpeg2_dec(Variant var) {
   for (int f = 0; f < kFrames; ++f) {
     const bool intra = f == 0;
     Reg rec = b.movi(fout[static_cast<size_t>(f)].addr);
-    Reg ref = b.movi(fout[0].addr);
+    Reg ref = intra ? Reg{} : b.movi(fout[0].addr);  // intra: no reference
     const u16 recg = fout[static_cast<size_t>(f)].group;
     const u16 refg = fout[0].group;
     Reg dcpred = b.movi(0);

@@ -143,7 +143,25 @@ void ProgramBuilder::clracc_to(Reg acc) {
   emit(op);
 }
 
+namespace {
+
+/// True when the nearest VL/VS writer earlier in `blk` is an immediate set
+/// of the same value — the new set would be architecturally redundant.
+/// Only intra-block history counts: across blocks the builder cannot know
+/// which path control arrived by.
+bool already_set(const BasicBlock& blk, Opcode set_imm, Opcode set_reg,
+                 i64 imm) {
+  for (auto it = blk.ops.rbegin(); it != blk.ops.rend(); ++it) {
+    if (it->op == set_imm) return it->imm == imm;
+    if (it->op == set_reg) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
 void ProgramBuilder::setvl(i64 vl) {
+  if (already_set(cur(), Opcode::SETVLI, Opcode::SETVL, vl)) return;
   Operation op;
   op.op = Opcode::SETVLI;
   op.imm = vl;
@@ -158,6 +176,7 @@ void ProgramBuilder::setvl(Reg r) {
 }
 
 void ProgramBuilder::setvs(i64 stride_bytes) {
+  if (already_set(cur(), Opcode::SETVSI, Opcode::SETVS, stride_bytes)) return;
   Operation op;
   op.op = Opcode::SETVSI;
   op.imm = stride_bytes;

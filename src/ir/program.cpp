@@ -3,75 +3,21 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "verify/irlint.hpp"
+
+void vuv::verify(const Program& prog) {
+  // Single source of truth for structural well-formedness: the lint pass
+  // (src/verify/irlint.cpp). verify() keeps its throwing contract by
+  // raising the first structural error as an IrError.
+  lint::DiagReport report;
+  if (!lint::lint_structure(prog, "", report)) {
+    report.sort();
+    const lint::Diagnostic* first = report.first_error();
+    throw IrError(lint::to_string(*first));
+  }
+}
 
 namespace vuv {
-
-namespace {
-
-void verify_operand(const Program& prog, const Operation& op, const Reg& r,
-                    RegClass expect, const char* what, i32 block_id) {
-  auto fail = [&](const std::string& msg) {
-    throw IrError("block " + std::to_string(block_id) + ", op '" +
-                  to_string(op) + "': " + msg);
-  };
-  if (expect == RegClass::kNone) {
-    if (r.valid()) fail(std::string(what) + " should be absent");
-    return;
-  }
-  if (r.cls != expect) fail(std::string(what) + " has wrong register class");
-  if (r.id < 0 || r.id >= prog.reg_count[static_cast<size_t>(r.cls)])
-    fail(std::string(what) + " register id out of range");
-}
-
-}  // namespace
-
-void verify(const Program& prog) {
-  if (prog.blocks.empty()) throw IrError("program has no blocks");
-  if (prog.entry < 0 || prog.entry >= static_cast<i32>(prog.blocks.size()))
-    throw IrError("entry block out of range");
-
-  const i32 nblocks = static_cast<i32>(prog.blocks.size());
-  bool has_halt = false;
-
-  for (const BasicBlock& blk : prog.blocks) {
-    for (size_t i = 0; i < blk.ops.size(); ++i) {
-      const Operation& op = blk.ops[i];
-      const OpInfo& info = op.info();
-
-      verify_operand(prog, op, op.dst, info.dst, "dst", blk.id);
-      for (u8 s = 0; s < 3; ++s)
-        verify_operand(prog, op, op.src[s], s < info.nsrc ? info.src[s] : RegClass::kNone,
-                       "src", blk.id);
-
-      const bool is_term = info.flags.branch || info.flags.jump || info.flags.halt;
-      if (is_term && i + 1 != blk.ops.size())
-        throw IrError("block " + std::to_string(blk.id) +
-                      ": control transfer is not the last operation");
-      if (info.flags.branch || info.flags.jump) {
-        if (op.target_block < 0 || op.target_block >= nblocks)
-          throw IrError("block " + std::to_string(blk.id) + ": bad branch target");
-      }
-      if (info.flags.halt) has_halt = true;
-
-      if (op.op == Opcode::PEXTRH || op.op == Opcode::PINSRH) {
-        if (op.imm < 0 || op.imm > 3)
-          throw IrError("lane immediate out of range [0,3]");
-      }
-      if (op.op == Opcode::SETVLI && (op.imm < 1 || op.imm > 16))
-        throw IrError("vector length immediate out of range [1,16]");
-    }
-
-    const Operation* term = blk.terminator();
-    const bool needs_fall = term == nullptr || term->info().flags.branch;
-    if (needs_fall) {
-      if (blk.fallthrough < 0 || blk.fallthrough >= nblocks)
-        throw IrError("block " + std::to_string(blk.id) +
-                      " falls through to an invalid block");
-    }
-  }
-
-  if (!has_halt) throw IrError("program has no HALT");
-}
 
 std::string to_string(const Program& prog) {
   std::ostringstream os;

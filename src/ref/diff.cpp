@@ -22,7 +22,8 @@ i64 first_mem_diff(const MainMemory& a, const MainMemory& b) {
 
 DiffReport diff_program(const Program& prog, const MainMemory& init_mem,
                         u32 warm_bytes, const MachineConfig& cfg,
-                        const InterpOptions& iopts) {
+                        const InterpOptions& iopts,
+                        const CompileOptions& copts) {
   DiffReport rep;
   std::ostringstream err;
 
@@ -43,7 +44,7 @@ DiffReport diff_program(const Program& prog, const MainMemory& init_mem,
   MainMemory sim_mem = init_mem;
   ScheduledProgram sp;
   try {
-    sp = compile(Program(prog), cfg);
+    sp = compile(Program(prog), cfg, copts);
     Cpu cpu(sp, sim_mem);
     cpu.warm(0, warm_bytes);
     rep.sim = cpu.run();

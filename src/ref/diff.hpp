@@ -40,8 +40,12 @@ struct DiffReport {
 /// memory hierarchy (the steady-state working set, as run_app does).
 /// Compile/runtime failures are reported as a non-ok DiffReport, except
 /// InternalError which propagates (a bug in vuv itself, not a divergence).
+/// `copts` is forwarded to compile(): with strict_verify on, a static
+/// lint/schedule-check failure surfaces as a kSimFault divergence (and
+/// therefore shrinks like any other fuzz finding).
 DiffReport diff_program(const Program& prog, const MainMemory& init_mem,
                         u32 warm_bytes, const MachineConfig& cfg,
-                        const InterpOptions& iopts = {});
+                        const InterpOptions& iopts = {},
+                        const CompileOptions& copts = {});
 
 }  // namespace vuv

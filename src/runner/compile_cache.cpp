@@ -1,5 +1,8 @@
 #include "runner/compile_cache.hpp"
 
+#include "common/error.hpp"
+#include "verify/schedcheck.hpp"
+
 namespace vuv {
 
 std::shared_ptr<const CompiledProgram> CompileCache::get(
@@ -7,6 +10,7 @@ std::shared_ptr<const CompiledProgram> CompileCache::get(
   std::string key = app_name(app);
   key += '|';
   key += variant_name(variant);
+  const std::string unit = key;  // diagnostic label for strict verification
   key += '|';
   key += compile_signature(cfg);
 
@@ -37,8 +41,22 @@ std::shared_ptr<const CompiledProgram> CompileCache::get(
       compile_cfg.mem.perfect = false;
       BuiltApp built = build_app(app, variant);
       auto cp = std::make_shared<CompiledProgram>();
-      cp->sp = compile(std::move(built.program), compile_cfg);
+      const bool strict = strict_verify_.load(std::memory_order_relaxed);
+      CompileOptions copts;
+      if (strict) {
+        copts.strict_verify = true;
+        copts.mem_extent = built.ws->used();
+        copts.unit = unit;
+      }
+      cp->sp = compile(std::move(built.program), compile_cfg, copts);
       cp->image = lower_image(cp->sp, compile_cfg);
+      if (strict) {
+        const lint::DiagReport rep =
+            lint::check_image(cp->sp, cp->image, {unit});
+        if (rep.errors() > 0)
+          throw CompileError("strict image check (" + rep.summary() +
+                             "): " + lint::to_string(*rep.first_error()));
+      }
       promise.set_value(std::move(cp));
     } catch (...) {
       promise.set_exception(std::current_exception());

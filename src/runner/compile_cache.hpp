@@ -8,6 +8,7 @@
 // signature and do not affect the image.
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <map>
 #include <memory>
@@ -45,12 +46,21 @@ class CompileCache {
   /// Number of distinct programs compiled so far.
   i64 compiled_programs() const;
 
+  /// Opt into strict static verification: every program this cache compiles
+  /// runs the full IR lint, the independent schedule checker and the image
+  /// cross-check exactly once (results are cached like the compile itself);
+  /// any error-severity diagnostic fails the compile with CompileError.
+  /// Off by default — the hot path stays unverified.
+  void set_strict_verify(bool on) { strict_verify_ = on; }
+  bool strict_verify() const { return strict_verify_; }
+
  private:
   using Entry = std::shared_future<std::shared_ptr<const CompiledProgram>>;
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   Stats stats_;
+  std::atomic<bool> strict_verify_{false};
 };
 
 }  // namespace vuv

@@ -41,7 +41,23 @@ struct ScheduledProgram {
 /// and chaining of dependent vector operations (§3.3).
 ScheduledProgram schedule_program(Program prog, const MachineConfig& cfg);
 
+/// Options for the full compile pipeline.
+struct CompileOptions {
+  /// Run the static verification passes (src/verify): full IR lint before
+  /// allocation and the independent schedule checker after scheduling.
+  /// Any error-severity diagnostic raises CompileError. Off by default —
+  /// the passes re-derive dependences and intervals and are not free.
+  bool strict_verify = false;
+  /// Declared workspace extent in bytes for the lint's conservative bounds
+  /// checks (0 disables them).
+  u32 mem_extent = 0;
+  /// Diagnostic label, e.g. "jpeg_enc|vector".
+  std::string unit;
+};
+
 /// Full pipeline: verify + ISA-level check + register allocation + schedule.
 ScheduledProgram compile(Program prog, const MachineConfig& cfg);
+ScheduledProgram compile(Program prog, const MachineConfig& cfg,
+                         const CompileOptions& opts);
 
 }  // namespace vuv

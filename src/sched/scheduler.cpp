@@ -5,6 +5,8 @@
 #include "common/error.hpp"
 #include "sched/regalloc.hpp"
 #include "sched/schedule.hpp"
+#include "verify/irlint.hpp"
+#include "verify/schedcheck.hpp"
 
 namespace vuv {
 
@@ -502,10 +504,34 @@ ScheduledProgram schedule_program(Program prog, const MachineConfig& cfg) {
 }
 
 ScheduledProgram compile(Program prog, const MachineConfig& cfg) {
-  verify(prog);
+  return compile(std::move(prog), cfg, CompileOptions{});
+}
+
+ScheduledProgram compile(Program prog, const MachineConfig& cfg,
+                         const CompileOptions& opts) {
+  if (opts.strict_verify) {
+    // Full static lint (structural rules included); errors are fatal.
+    const lint::DiagReport rep =
+        lint::lint_program(prog, {opts.unit, opts.mem_extent});
+    if (rep.errors() > 0)
+      throw CompileError("strict verify (" + rep.summary() +
+                         "): " + lint::to_string(*rep.first_error()));
+  } else {
+    verify(prog);
+  }
   check_isa_level(prog, cfg);
+  Program source;
+  if (opts.strict_verify) source = prog;  // pre-allocation image for checking
   allocate_registers(prog, cfg);
-  return schedule_program(std::move(prog), cfg);
+  ScheduledProgram out = schedule_program(std::move(prog), cfg);
+  if (opts.strict_verify) {
+    const lint::DiagReport rep =
+        lint::check_schedule(out, &source, {opts.unit});
+    if (rep.errors() > 0)
+      throw CompileError("strict schedule check (" + rep.summary() +
+                         "): " + lint::to_string(*rep.first_error()));
+  }
+  return out;
 }
 
 }  // namespace vuv

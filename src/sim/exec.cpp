@@ -435,7 +435,9 @@ ExecInfo execute_decoded(const DecodedOp& d, const CpuState& st,
     case Opcode::MOV: set_i(iv(0)); break;
     case Opcode::ADD: set_i(iv(0) + iv(1)); break;
     case Opcode::SUB: set_i(iv(0) - iv(1)); break;
-    case Opcode::MUL: set_i(static_cast<u64>(static_cast<i64>(iv(0)) * static_cast<i64>(iv(1)))); break;
+    // Two's-complement product: the low 64 bits do not depend on
+    // signedness, so compute unsigned (defined for all inputs).
+    case Opcode::MUL: set_i(iv(0) * iv(1)); break;
     case Opcode::DIV: {
       const i64 d = static_cast<i64>(iv(1));
       if (d == 0) throw SimError("division by zero");

@@ -1,0 +1,132 @@
+#include "verify/diag.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace vuv::lint {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream os;
+  if (!d.unit.empty()) os << d.unit << ": ";
+  if (d.block >= 0) {
+    os << "B" << d.block;
+    if (d.op >= 0) os << ":" << d.op;
+    os << ": ";
+  }
+  os << severity_name(d.severity) << " [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+void DiagReport::add(Severity sev, std::string rule, std::string unit,
+                     i32 block, i32 op, std::string message) {
+  Diagnostic d;
+  d.severity = sev;
+  d.rule = std::move(rule);
+  d.unit = std::move(unit);
+  d.block = block;
+  d.op = op;
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+}
+
+void DiagReport::merge(const DiagReport& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+}
+
+void DiagReport::sort() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     // Errors before warnings at the same locus.
+                     const int sa = -static_cast<int>(a.severity);
+                     const int sb = -static_cast<int>(b.severity);
+                     return std::tie(a.unit, a.block, a.op, sa, a.rule,
+                                     a.message) <
+                            std::tie(b.unit, b.block, b.op, sb, b.rule,
+                                     b.message);
+                   });
+}
+
+i64 DiagReport::count(Severity s) const {
+  i64 n = 0;
+  for (const Diagnostic& d : diags_)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+const Diagnostic* DiagReport::first_error() const {
+  for (const Diagnostic& d : diags_)
+    if (d.severity == Severity::kError) return &d;
+  return nullptr;
+}
+
+i64 DiagReport::count_rule(const std::string& rule) const {
+  i64 n = 0;
+  for (const Diagnostic& d : diags_)
+    if (d.rule == rule) ++n;
+  return n;
+}
+
+std::string DiagReport::summary() const {
+  std::ostringstream os;
+  os << errors() << " errors, " << warnings() << " warnings";
+  return os.str();
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Diagnostic>& diags) {
+  std::string out = "[";
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"severity\":";
+    append_json_string(out, severity_name(d.severity));
+    out += ",\"rule\":";
+    append_json_string(out, d.rule);
+    out += ",\"unit\":";
+    append_json_string(out, d.unit);
+    out += ",\"block\":" + std::to_string(d.block);
+    out += ",\"op\":" + std::to_string(d.op);
+    out += ",\"message\":";
+    append_json_string(out, d.message);
+    out += "}";
+  }
+  out += diags.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace vuv::lint

@@ -1,0 +1,66 @@
+// Diagnostics for the static verification passes (irlint, schedcheck).
+//
+// A Diagnostic pins one finding to a locus (unit / block / op) with a
+// machine-readable rule id and a severity. Reports are deterministic:
+// `sort()` imposes a total order so the rendered text and JSON output are
+// byte-stable across runs — CI gates on the bytes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vuv::lint {
+
+enum class Severity : u8 {
+  kNote = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  std::string rule;  // stable kebab-case rule id, e.g. "uninit-read"
+  std::string unit;  // program label, e.g. "jpeg_enc|vector" (may be empty)
+  i32 block = -1;    // basic-block id, -1 when program-level
+  i32 op = -1;       // op index within the block, -1 when block-level
+  std::string message;
+};
+
+std::string to_string(const Diagnostic& d);
+
+class DiagReport {
+ public:
+  void add(Severity sev, std::string rule, std::string unit, i32 block, i32 op,
+           std::string message);
+  void merge(const DiagReport& other);
+
+  /// Total order: unit, block, op, severity (errors first), rule, message.
+  void sort();
+
+  const std::vector<Diagnostic>& diags() const { return diags_; }
+  i64 count(Severity s) const;
+  i64 errors() const { return count(Severity::kError); }
+  i64 warnings() const { return count(Severity::kWarning); }
+
+  /// First error-severity diagnostic, or nullptr.
+  const Diagnostic* first_error() const;
+  /// Number of diagnostics carrying `rule`.
+  i64 count_rule(const std::string& rule) const;
+
+  /// "N errors, M warnings".
+  std::string summary() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Render diagnostics as a deterministic JSON array (caller sorts first for
+/// byte stability). Each element: {"severity","rule","unit","block","op",
+/// "message"} with keys in that fixed order.
+std::string to_json(const std::vector<Diagnostic>& diags);
+
+}  // namespace vuv::lint

@@ -1,0 +1,64 @@
+// Static IR lint: structural well-formedness plus forward/backward dataflow
+// diagnostics over an ir::Program, before register allocation.
+//
+// Error-severity rules (reject the program):
+//   operand-class / operand-range  operand register class or id illegal for
+//                                  the opcode (src/isa metadata tables)
+//   mid-block-terminator           control transfer not last in its block
+//   bad-branch-target              branch/jump target block out of range
+//   bad-fallthrough                missing or out-of-range fallthrough
+//   no-halt / empty-program / bad-entry
+//   imm-range                      PEXTRH/PINSRH lane or SETVLI length imm
+//   uninit-read                    register read that no path ever defines
+//   vl-range                       SETVL from a provably out-of-[1,16] value
+//   mem-oob / vec-oob              provable out-of-bounds access against the
+//                                  declared workspace extent
+//
+// Warning-severity rules (suspicious but runnable):
+//   maybe-uninit-read   defined on some path to the read but not all
+//   dead-write          result never read on any path (incl. dead-setvl/vs)
+//   redundant-setvl/vs  SETVLI/SETVSI to the value VL/VS already holds
+//   unreachable-block   no path from entry
+//   vl-unset / vs-unset vector op depends on VL/VS before any SETVL/SETVS
+//                       (the architectural defaults VL=16 / VS=8 apply)
+//   vec-oob-worst-case  in-bounds only if VL stays below the architectural
+//                       maximum of 16 (VL unknown at the access)
+//   vs-zero             vector access with a provably zero stride
+//
+// The analyses are conservative: vector writes fully define their register
+// (fresh-writeback lane zeroing — lanes past VL read as zero), bounds are
+// only checked where base address and stride are provable constants, and
+// nothing is assumed about timing.
+#pragma once
+
+#include "ir/program.hpp"
+#include "verify/diag.hpp"
+
+namespace vuv::lint {
+
+struct LintOptions {
+  /// Label attached to every diagnostic (e.g. "jpeg_enc|vector").
+  std::string unit;
+  /// Declared workspace extent in bytes; 0 disables bounds checking.
+  u32 mem_extent = 0;
+};
+
+struct LintStats {
+  i64 vector_mem_ops = 0;   // static VLD/VST count
+  i64 bounds_checked = 0;   // accesses with provable base (+ stride)
+  i64 worst_footprint = 0;  // worst-case end offset (bytes) over provable
+                            // vector accesses, VL=16 when unknown
+};
+
+/// Run every lint rule over `prog`. Dataflow rules only run when the
+/// structural rules pass (a malformed program cannot be analyzed). The
+/// returned report is sorted (deterministic, byte-stable).
+DiagReport lint_program(const Program& prog, const LintOptions& opts = {},
+                        LintStats* stats = nullptr);
+
+/// Structural subset only (what ir::verify() enforces). Appends to `out`;
+/// returns true when no structural error was found.
+bool lint_structure(const Program& prog, const std::string& unit,
+                    DiagReport& out);
+
+}  // namespace vuv::lint

@@ -21,6 +21,7 @@
 #include "cli.hpp"
 #include "ref/diff.hpp"
 #include "ref/gen.hpp"
+#include "verify/irlint.hpp"
 
 using namespace vuv;
 
@@ -39,6 +40,10 @@ options:
   --no-shrink        write the unshrunk counterexample
   --replay FILE      replay a .vuvgen file through the full check matrix
   --dump-dir DIR     also write every generated program to DIR (corpus curation)
+  --lint             also run the static verifier: IR-lint every generated
+                     program (error diagnostics are fatal) and compile with
+                     strict_verify so schedule-checker findings shrink like
+                     any other divergence
   --self-test        inject known interpreter faults; exit 0 iff both are
                      caught and shrunk to <= 10 body ops
   -h, --help         this text
@@ -69,24 +74,45 @@ struct CellResult {
 };
 
 /// Run one GenProgram through interpreter-vs-simulator on `cfg` in the
-/// selected memory modes; returns the first failing cell (or ok).
+/// selected memory modes; returns the first failing cell (or ok). With
+/// `strict`, compile() additionally re-verifies its own schedule, so a
+/// scheduler bug surfaces as a kSimFault divergence.
 CellResult check_program(const GenProgram& p, MachineConfig cfg,
-                         const std::string& mode, InterpFault fault) {
+                         const std::string& mode, InterpFault fault,
+                         bool strict = false) {
   const GenBuilt built = materialize(p);
   CellResult cell;
   InterpOptions iopts;
   iopts.fault = fault;
+  CompileOptions copts;
+  copts.strict_verify = strict;
+  copts.mem_extent = built.ws->used();
+  copts.unit = "fuzz";
   for (const bool perfect : {false, true}) {
     if (perfect && mode == "realistic") continue;
     if (!perfect && mode == "perfect") continue;
     cfg.mem.perfect = perfect;
     cell.rep = diff_program(built.program, built.ws->mem(), built.ws->used(),
-                            cfg, iopts);
+                            cfg, iopts, copts);
     cell.cfg_name = cfg.name;
     cell.perfect = perfect;
     if (!cell.rep.ok) return cell;
   }
   return cell;
+}
+
+/// IR-lint a generated program; returns the first error-severity diagnostic
+/// as a string, or empty when clean. The generator is supposed to emit
+/// well-formed, fully-initialized IR, so any error here is a generator (or
+/// lint) bug worth a counterexample.
+std::string lint_gen(const GenProgram& p) {
+  const GenBuilt built = materialize(p);
+  lint::LintOptions lopts;
+  lopts.unit = "fuzz";
+  lopts.mem_extent = built.ws->used();
+  const lint::DiagReport rep = lint_program(built.program, lopts);
+  if (const lint::Diagnostic* e = rep.first_error()) return lint::to_string(*e);
+  return "";
 }
 
 std::string cell_key(const CellResult& c) {
@@ -115,11 +141,12 @@ GenProgram load_file(const std::string& path) {
 
 /// Shrink `p` against the failing cell, preserving the failure kind.
 GenProgram shrink_against(const GenProgram& p, const MachineConfig& cfg,
-                          const CellResult& orig, InterpFault fault) {
+                          const CellResult& orig, InterpFault fault,
+                          bool strict = false) {
   const std::string mode = orig.perfect ? "perfect" : "realistic";
   const DiffKind kind = orig.rep.kind;
-  return shrink(p, [&cfg, &mode, kind, fault](const GenProgram& cand) {
-    const CellResult c = check_program(cand, cfg, mode, fault);
+  return shrink(p, [&cfg, &mode, kind, fault, strict](const GenProgram& cand) {
+    const CellResult c = check_program(cand, cfg, mode, fault, strict);
     return !c.rep.ok && c.rep.kind == kind;
   });
 }
@@ -134,7 +161,7 @@ struct FuzzStats {
 bool fuzz_variant(Variant v, i64 seed_lo, i64 seed_hi, i32 atoms,
                   const std::string& mode, const std::string& out_path,
                   bool do_shrink, const std::string& dump_dir,
-                  InterpFault fault, FuzzStats& stats) {
+                  InterpFault fault, bool lint, FuzzStats& stats) {
   const std::vector<MachineConfig>& cfgs = configs_for(v);
   for (i64 seed = seed_lo; seed < seed_hi; ++seed) {
     GenOptions gopts;
@@ -150,9 +177,28 @@ bool fuzz_variant(Variant v, i64 seed_lo, i64 seed_hi, i32 atoms,
       if (!f) throw Error("cannot write " + name.str());
       f << to_text(p);
     }
+    if (lint) {
+      const std::string err = lint_gen(p);
+      if (!err.empty()) {
+        std::cerr << "[vuv_fuzz] LINT ERROR at seed " << seed << " variant "
+                  << variant_name(v) << ":\n  " << err << "\n";
+        std::string path = out_path;
+        if (path.empty()) {
+          std::ostringstream name;
+          name << "lintfail_" << variant_name(v) << "_seed" << seed
+               << ".vuvgen";
+          path = name.str();
+        }
+        std::ofstream f(path);
+        if (!f) throw Error("cannot write " + path);
+        f << "# lint: " << err << "\n" << to_text(p);
+        std::cerr << "[vuv_fuzz] counterexample written to " << path << "\n";
+        return false;
+      }
+    }
     const MachineConfig& cfg =
         cfgs[static_cast<size_t>(seed) % cfgs.size()];
-    const CellResult cell = check_program(p, cfg, mode, fault);
+    const CellResult cell = check_program(p, cfg, mode, fault, lint);
     ++stats.programs;
     stats.cells += mode == "both" ? 2 : 1;
     if (cell.rep.ok) continue;
@@ -162,7 +208,7 @@ bool fuzz_variant(Variant v, i64 seed_lo, i64 seed_hi, i32 atoms,
               << cell.rep.error << "\n";
     GenProgram minimal = p;
     if (do_shrink) {
-      minimal = shrink_against(p, cfg, cell, fault);
+      minimal = shrink_against(p, cfg, cell, fault, lint);
       std::cerr << "[vuv_fuzz] shrunk " << p.body_ops() << " -> "
                 << minimal.body_ops() << " body ops\n";
     }
@@ -236,7 +282,7 @@ int main(int argc, char** argv) {
   i64 seed_lo = 0, seed_hi = 100;
   std::string variant = "all", mode = "both", out_path, replay, dump_dir;
   i32 atoms = 32;
-  bool do_shrink = true, run_self_test = false;
+  bool do_shrink = true, run_self_test = false, lint = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -278,6 +324,8 @@ int main(int argc, char** argv) {
         dump_dir = value();
       } else if (arg == "--self-test") {
         run_self_test = true;
+      } else if (arg == "--lint") {
+        lint = true;
       } else {
         throw Error("unknown option: " + arg + " (see --help)");
       }
@@ -288,8 +336,16 @@ int main(int argc, char** argv) {
     if (!replay.empty()) {
       const GenProgram p = load_file(replay);
       int failures = 0;
+      if (lint) {
+        const std::string err = lint_gen(p);
+        if (!err.empty()) {
+          ++failures;
+          std::cerr << "[vuv_fuzz] replay LINT ERROR: " << err << "\n";
+        }
+      }
       for (const MachineConfig& cfg : configs_for(p.variant)) {
-        const CellResult cell = check_program(p, cfg, mode, InterpFault::kNone);
+        const CellResult cell =
+            check_program(p, cfg, mode, InterpFault::kNone, lint);
         if (!cell.rep.ok) {
           ++failures;
           std::cerr << "[vuv_fuzz] replay FAILED on " << cell_key(cell)
@@ -314,7 +370,7 @@ int main(int argc, char** argv) {
     FuzzStats stats;
     for (Variant v : variants)
       if (!fuzz_variant(v, seed_lo, seed_hi, atoms, mode, out_path, do_shrink,
-                        dump_dir, InterpFault::kNone, stats))
+                        dump_dir, InterpFault::kNone, lint, stats))
         return 1;
     std::cerr << "[vuv_fuzz] ok: " << stats.programs << " programs, "
               << stats.cells << " cells, no divergence\n";

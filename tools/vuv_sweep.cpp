@@ -44,6 +44,9 @@ options:
                      (.json = BENCH-style json, .csv = csv, else table)
   --format F         override the report format: json, csv or table
   --name NAME        bench name embedded in json reports (default: sweep)
+  --strict           run the static verifier inside every compile: full IR
+                     lint plus independent schedule/image re-checks; any
+                     error-severity finding fails the cell's compile
   -h, --help         this text
 )";
 
@@ -68,7 +71,7 @@ int main(int argc, char** argv) {
   std::vector<App> apps = table1_apps();
   std::vector<MachineConfig> cfgs = MachineConfig::all_table2();
   RunnerOptions opts;
-  bool perfect = false;
+  bool perfect = false, strict = false;
   std::string filter, out_path, format, name = "sweep";
 
   try {
@@ -96,6 +99,8 @@ int main(int argc, char** argv) {
         return 0;
       } else if (arg == "--perfect") {
         perfect = true;
+      } else if (arg == "--strict") {
+        strict = true;
       } else if (arg == "--filter") {
         filter = value();
       } else if (arg == "--out") {
@@ -114,6 +119,7 @@ int main(int argc, char** argv) {
     if (spec.empty()) throw Error("the sweep spec selected no cells");
 
     Runner runner(opts);
+    if (strict) runner.compile_cache().set_strict_verify(true);
     std::cerr << "[vuv_sweep] " << spec.size() << " cells on "
               << runner.jobs() << " worker(s)\n";
     const auto t0 = std::chrono::steady_clock::now();

@@ -15,6 +15,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
 #include "runner/runner.hpp"
 
@@ -46,22 +47,7 @@ class BenchJson {
     metrics_.emplace_back(key, std::to_string(v));
   }
 
-  ~BenchJson() {
-    const char* dir = std::getenv("VUV_BENCH_DIR");
-    const std::string path =
-        (dir ? std::string(dir) + "/" : std::string()) + "BENCH_" + name_ + ".json";
-    std::ofstream f(path);
-    if (!f) {
-      std::cerr << "BenchJson: cannot write " << path << "\n";
-      return;
-    }
-    f << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
-    for (size_t i = 0; i < metrics_.size(); ++i)
-      f << (i ? "," : "") << "\n    \"" << metrics_[i].first
-        << "\": " << metrics_[i].second;
-    f << "\n  }\n}\n";
-    std::cout << "[bench-json] wrote " << path << "\n";
-  }
+  ~BenchJson();
 
  private:
   std::string name_;
@@ -78,6 +64,35 @@ inline Runner& shared_runner() {
     return opts;
   }());
   return runner;
+}
+
+inline BenchJson::~BenchJson() {
+  const char* dir = std::getenv("VUV_BENCH_DIR");
+  const std::string prefix = dir ? std::string(dir) + "/" : std::string();
+  const std::string path = prefix + "BENCH_" + name_ + ".json";
+  std::ofstream f(path);
+  if (!f) {
+    VUV_ERROR("BenchJson: cannot write " << path);
+    return;
+  }
+  f << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+  for (size_t i = 0; i < metrics_.size(); ++i)
+    f << (i ? "," : "") << "\n    \"" << metrics_[i].first
+      << "\": " << metrics_[i].second;
+  f << "\n  }\n}\n";
+  std::cout << "[bench-json] wrote " << path << "\n";
+
+  // Host-side runtime metrics of the shared runner (queue/latency, compile
+  // cache, aggregated cache hits): operator telemetry alongside the
+  // simulated-timing metrics above, never mixed into them.
+  const std::string mpath = prefix + "METRICS_" + name_ + ".json";
+  std::ofstream mf(mpath);
+  if (!mf) {
+    VUV_ERROR("BenchJson: cannot write " << mpath);
+    return;
+  }
+  shared_runner().metrics().write_json(mf);
+  std::cout << "[bench-json] wrote " << mpath << "\n";
 }
 
 /// Thin query layer over the shared Runner. get() preserves the historic
@@ -104,7 +119,12 @@ class Sweep {
     }
     const std::string key =
         std::string(app_name(app)) + "|" + cfg.name + "|" + (perfect ? "p" : "r");
-    if (recorded_.insert(key).second) json_->add("cycles." + key, r.sim.cycles);
+    if (recorded_.insert(key).second) {
+      json_->add("cycles." + key, r.sim.cycles);
+      json_->add("stalls.raw." + key, r.sim.stalls.raw);
+      json_->add("stalls.fu." + key, r.sim.stalls.fu_conflict);
+      json_->add("stalls.mem." + key, r.sim.stalls.mem_latency);
+    }
     return r;
   }
 

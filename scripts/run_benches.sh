@@ -4,6 +4,10 @@
 # gets a top-level "wall_seconds" field recording the bench's wall time,
 # and the per-bench wall times are aggregated into one
 # BENCH_wall_summary.json so the host-perf trajectory is a single artifact.
+# The summary also carries each bench's summed per-cause stall cycles
+# (raw / fu_conflict / mem_latency, from the stalls.* metrics the Sweep
+# layer records) and the path of its METRICS_<name>.json host-metrics
+# snapshot (written by BenchJson from the shared Runner's registry).
 # Exits non-zero if any bench binary fails or fails to produce its JSON.
 #
 # Usage: run_benches.sh [bench_target...]
@@ -48,9 +52,24 @@ add_wall_seconds() {
   mv "$tmp" "$json"
 }
 
+# Sum every "stalls.<cause>.<cell>" metric value in a BENCH json.
+sum_stalls() {
+  local json="$1" cause="$2"
+  awk -v pat="\"stalls\\\\.$cause\\\\." '
+    $0 ~ pat { v = $NF; gsub(/,/, "", v); s += v }
+    END { printf "%d", s }
+  ' "$json"
+}
+
 status=0
 summary_names=()
 summary_walls=()
+stall_names=()
+stall_raw=()
+stall_fu=()
+stall_mem=()
+metrics_names=()
+metrics_paths=()
 for b in "${benches[@]}"; do
   exe="./$b"
   if [ ! -x "$exe" ]; then
@@ -88,11 +107,22 @@ for b in "${benches[@]}"; do
     add_wall_seconds "$out_dir/BENCH_$name.json" "$wall"
     summary_names+=("$name")
     summary_walls+=("$wall")
+    if grep -q '"stalls\.' "$out_dir/BENCH_$name.json"; then
+      stall_names+=("$name")
+      stall_raw+=("$(sum_stalls "$out_dir/BENCH_$name.json" raw)")
+      stall_fu+=("$(sum_stalls "$out_dir/BENCH_$name.json" fu)")
+      stall_mem+=("$(sum_stalls "$out_dir/BENCH_$name.json" mem)")
+    fi
+    if [ -s "$out_dir/METRICS_$name.json" ]; then
+      metrics_names+=("$name")
+      metrics_paths+=("METRICS_$name.json")
+    fi
   fi
 done
 
-# One aggregate artifact for the whole suite: per-bench wall seconds plus
-# the total, in the BENCH json shape.
+# One aggregate artifact for the whole suite: per-bench wall seconds, the
+# total, each bench's summed per-cause stall cycles, and the host-metrics
+# snapshot paths — all in the BENCH json shape.
 {
   printf '{\n  "bench": "wall_summary",\n  "wall_seconds": {'
   total=0
@@ -101,7 +131,19 @@ done
     printf '\n    "%s": %s' "${summary_names[$i]}" "${summary_walls[$i]}"
     total=$(awk -v t="$total" -v w="${summary_walls[$i]}" 'BEGIN { printf "%.3f", t + w }')
   done
-  printf '\n  },\n  "total_wall_seconds": %s\n}\n' "$total"
+  printf '\n  },\n  "total_wall_seconds": %s' "$total"
+  printf ',\n  "stalls": {'
+  for i in "${!stall_names[@]}"; do
+    [ "$i" -gt 0 ] && printf ','
+    printf '\n    "%s": {"raw": %s, "fu_conflict": %s, "mem_latency": %s}' \
+      "${stall_names[$i]}" "${stall_raw[$i]}" "${stall_fu[$i]}" "${stall_mem[$i]}"
+  done
+  printf '\n  },\n  "metrics_snapshots": {'
+  for i in "${!metrics_names[@]}"; do
+    [ "$i" -gt 0 ] && printf ','
+    printf '\n    "%s": "%s"' "${metrics_names[$i]}" "${metrics_paths[$i]}"
+  done
+  printf '\n  }\n}\n'
 } > "$out_dir/BENCH_wall_summary.json"
 
 echo "Bench JSON files in $out_dir:"

@@ -28,5 +28,6 @@ void log_emit(LogLevel level, const std::string& msg);
 #define VUV_DEBUG(expr) VUV_LOG(::vuv::LogLevel::kDebug, expr)
 #define VUV_INFO(expr) VUV_LOG(::vuv::LogLevel::kInfo, expr)
 #define VUV_WARN(expr) VUV_LOG(::vuv::LogLevel::kWarn, expr)
+#define VUV_ERROR(expr) VUV_LOG(::vuv::LogLevel::kError, expr)
 
 }  // namespace vuv

@@ -21,34 +21,40 @@ MemResult MemorySystem::scalar_access(Addr addr, i32 bytes, bool store, Cycle no
   (void)bytes;  // line-granular model: straddling accesses hit the first line
   ++stats_.scalar_accesses;
   const MemParams& m = cfg_.mem;
-  if (m.perfect) return {now + m.lat_l1, now + m.lat_l1, 1};
+  if (m.perfect) return {now + m.lat_l1, now + m.lat_l1, 1, 1};
 
   Cycle lat;
+  u8 level;
   if (l1_.access(addr, store)) {
     ++stats_.l1_hits;
     lat = m.lat_l1;
+    level = 1;
   } else {
     ++stats_.l1_misses;
     if (l2_.access(addr, false)) {
       ++stats_.l2_scalar_hits;
       lat = m.lat_l2;
+      level = 2;
     } else if (l3_.access(addr, false)) {
       ++stats_.l2_scalar_misses;
       ++stats_.l3_hits;
       lat = m.lat_l3;
+      level = 3;
     } else {
       ++stats_.l2_scalar_misses;
       ++stats_.l3_misses;
       lat = m.lat_mem;
+      level = 4;
       l3_.fill(addr, false);
     }
     l2_.fill(addr, false);  // inclusion
     l1_.fill(addr, store);
   }
-  return {now + lat, now + lat, 1};
+  return {now + lat, now + lat, 1, level};
 }
 
-Cycle MemorySystem::vector_line_latency(Addr line_addr, bool store) {
+Cycle MemorySystem::vector_line_latency(Addr line_addr, bool store,
+                                        u8& deepest) {
   const MemParams& m = cfg_.mem;
 
   // Exclusive-bit coherency with the scalar path.
@@ -72,9 +78,11 @@ Cycle MemorySystem::vector_line_latency(Addr line_addr, bool store) {
   if (l3_.access(line_addr, false)) {
     ++stats_.l3_hits;
     lat = m.lat_l3;
+    deepest = std::max<u8>(deepest, 3);
   } else {
     ++stats_.l3_misses;
     lat = m.lat_mem;
+    deepest = std::max<u8>(deepest, 4);
     l3_.fill(line_addr, false);
   }
   l2_.fill(line_addr, store);
@@ -93,7 +101,7 @@ MemResult MemorySystem::vector_access(Addr addr, i64 stride, i32 vl, bool store,
     // All lines hit; transfer always proceeds at the full port rate.
     const Cycle transfer = ceil_div(vl, B);
     const Cycle ready = now + m.lat_l2 + transfer - 1;
-    return {ready, now + m.lat_l2, transfer};
+    return {ready, now + m.lat_l2, transfer, 2};
   }
 
   // Distinct lines touched, in element order (elements may straddle lines).
@@ -107,8 +115,9 @@ MemResult MemorySystem::vector_access(Addr addr, i64 stride, i32 vl, bool store,
 
   Cycle base = m.lat_l2;  // latency until the first elements arrive
   Cycle extra = 0;        // additional fill latency beyond the L2
+  u8 deepest = 2;
   for (Addr la : line_set) {
-    const Cycle lat = vector_line_latency(la, store);
+    const Cycle lat = vector_line_latency(la, store, deepest);
     extra += std::max<Cycle>(0, lat - m.lat_l2);
   }
   base += extra;
@@ -130,7 +139,7 @@ MemResult MemorySystem::vector_access(Addr addr, i64 stride, i32 vl, bool store,
   const i64 rp = unit ? B : 1;
   const Cycle catchup =
       std::max<i64>(0, (vl - 1) / rp - (vl - 1) / cfg_.lanes);
-  return {ready, now + base + catchup, base - m.lat_l2 + transfer};
+  return {ready, now + base + catchup, base - m.lat_l2 + transfer, deepest};
 }
 
 }  // namespace vuv

@@ -45,6 +45,10 @@ struct MemResult {
   Cycle chain_ready = 0;
   /// Cycles the issuing port stays occupied, starting at issue.
   Cycle port_busy = 1;
+  /// Deepest level that served the access: 1 = L1, 2 = L2 vector cache,
+  /// 3 = L3, 4 = main memory (for vector accesses: the deepest level any
+  /// touched line came from). Observability only — timing is above.
+  u8 level = 1;
 };
 
 class MemorySystem {
@@ -68,8 +72,9 @@ class MemorySystem {
 
  private:
   /// Look up one line on the vector path; returns the latency of the level
-  /// that hit and fills caches on the way (inclusion).
-  Cycle vector_line_latency(Addr line_addr, bool store);
+  /// that hit and fills caches on the way (inclusion). Raises `deepest` to
+  /// that level's number if it is deeper than what the caller saw so far.
+  Cycle vector_line_latency(Addr line_addr, bool store, u8& deepest);
 
   const MachineConfig& cfg_;
   Cache l1_;

@@ -1,0 +1,105 @@
+#include "obs/metrics.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vuv {
+namespace obs {
+
+void Registry::check_unique(const std::string& name) const {
+  int kinds = 0;
+  kinds += counters_.count(name) ? 1 : 0;
+  kinds += gauges_.count(name) ? 1 : 0;
+  kinds += histograms_.count(name) ? 1 : 0;
+  if (kinds > 0) {
+    std::string msg = "metric name already used by a different kind: ";
+    msg += name;
+    throw Error(msg);
+  }
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    check_unique(name);
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    check_unique(name);
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    check_unique(name);
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "{\"metrics\": {";
+  // Three-way sorted merge over the per-kind maps so all names come out in
+  // one lexicographic sequence regardless of kind.
+  auto ci = counters_.begin();
+  auto gi = gauges_.begin();
+  auto hi = histograms_.begin();
+  bool first = true;
+  while (ci != counters_.end() || gi != gauges_.end() ||
+         hi != histograms_.end()) {
+    // Pick the smallest pending name; ties are impossible (check_unique).
+    int pick = 0;  // 0 = counter, 1 = gauge, 2 = histogram
+    const std::string* best = nullptr;
+    if (ci != counters_.end()) best = &ci->first;
+    if (gi != gauges_.end() && (!best || gi->first < *best)) {
+      best = &gi->first;
+      pick = 1;
+    }
+    if (hi != histograms_.end() && (!best || hi->first < *best)) {
+      best = &hi->first;
+      pick = 2;
+    }
+    os << (first ? "" : ",") << "\n  \"" << *best << "\": ";
+    first = false;
+    if (pick == 0) {
+      os << ci->second->value();
+      ++ci;
+    } else if (pick == 1) {
+      os << "{\"value\": " << gi->second->value()
+         << ", \"max\": " << gi->second->max() << "}";
+      ++gi;
+    } else {
+      const auto buckets = hi->second->buckets();
+      os << "{\"count\": " << hi->second->count()
+         << ", \"sum\": " << hi->second->sum() << ", \"buckets\": [";
+      for (int b = 0; b < Histogram::kBuckets; ++b)
+        os << (b ? ", " : "") << buckets[static_cast<size_t>(b)];
+      os << "]}";
+      ++hi;
+    }
+  }
+  os << "\n}}\n";
+}
+
+std::string Registry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace vuv

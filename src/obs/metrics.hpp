@@ -1,0 +1,121 @@
+// Lock-free runtime metrics for the host-side machinery (Runner thread
+// pool, CompileCache, per-level cache statistics): counters, gauges with a
+// high-water mark, and power-of-two-bucket histograms, collected in a
+// Registry and snapshotted as byte-stable sorted JSON.
+//
+// Update paths are wait-free atomic adds — safe from any worker thread
+// with no coordination. Registration (name lookup) takes a mutex and is
+// meant for setup time: instruments resolve their Counter&/Gauge&/
+// Histogram& once and keep the reference (addresses are stable for the
+// Registry's lifetime). A snapshot taken concurrently with updates is a
+// per-metric-relaxed read, not a consistent cut — fine for operational
+// metrics, which these are. Simulated-timing statistics never live here:
+// reports stay byte-identical at any --jobs (see runner/report.hpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace vuv {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(i64 n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  i64 value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<i64> v_{0};
+};
+
+/// Instantaneous level (queue depth, in-flight work) with a high-water
+/// mark maintained lock-free.
+class Gauge {
+ public:
+  void add(i64 n = 1) {
+    const i64 now = v_.fetch_add(n, std::memory_order_relaxed) + n;
+    i64 seen = max_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !max_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(i64 n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  i64 value() const { return v_.load(std::memory_order_relaxed); }
+  i64 max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<i64> v_{0};
+  std::atomic<i64> max_{0};
+};
+
+/// Power-of-two-bucket histogram: bucket i counts observations v with
+/// 2^i <= v < 2^(i+1); v <= 0 lands in bucket 0, and the top bucket is
+/// unbounded. Fixed shape, so snapshots are byte-stable and merging
+/// across runs is trivial.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void observe(i64 v) {
+    int b = 0;
+    u64 x = v > 0 ? static_cast<u64>(v) : 0;
+    while (x > 1 && b < kBuckets - 1) {
+      x >>= 1;
+      ++b;
+    }
+    buckets_[static_cast<size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v > 0 ? v : 0, std::memory_order_relaxed);
+  }
+
+  i64 count() const { return count_.load(std::memory_order_relaxed); }
+  i64 sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::array<i64, kBuckets> buckets() const {
+    std::array<i64, kBuckets> out{};
+    for (int i = 0; i < kBuckets; ++i)
+      out[static_cast<size_t>(i)] =
+          buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::array<std::atomic<i64>, kBuckets> buckets_{};
+  std::atomic<i64> count_{0};
+  std::atomic<i64> sum_{0};
+};
+
+/// Named metric collection. Lookup-or-create is mutex-guarded; the
+/// returned references stay valid (and lock-free to update) for the
+/// Registry's lifetime. A name holds exactly one metric kind — asking for
+/// the same name as a different kind throws Error.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Snapshot as sorted JSON: {"metrics": {<name>: <value>, ...}} with
+  /// names in lexicographic order and fixed per-kind value shapes —
+  /// byte-stable for equal metric values.
+  void write_json(std::ostream& os) const;
+  std::string json() const;
+
+ private:
+  void check_unique(const std::string& name) const;  // callers hold mu_
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace vuv

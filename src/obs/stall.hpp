@@ -1,0 +1,97 @@
+// Stall attribution types shared by the simulator and the observability
+// layer. The cycle-level CPU charges every issue stall (issue - base, see
+// sim/cpu.cpp) to exactly one cause — the constraint that actually bound
+// the word's issue time — so per-cause totals always sum to
+// SimResult::stall_cycles, per region and globally. Attribution is pure
+// accounting over times the simulator computes anyway; it can never change
+// simulated timing (see DESIGN.md, "Stall attribution and tracing").
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vuv {
+
+/// Why a VLIW word issued later than its static schedule said it would.
+enum class StallCause : u8 {
+  /// Register/chaining dependency: a source (or VL/VS) was produced by a
+  /// non-memory operation whose result was not ready — a loop-carried or
+  /// cross-block RAW hazard the block-local scheduler could not see.
+  kRaw = 0,
+  /// A functional unit (or L1/L2 memory port) was still occupied by an
+  /// earlier operation.
+  kFuConflict = 1,
+  /// A source was produced by a memory operation that ran slower than the
+  /// compiler's hit-in-cache assumption (paper §3.3: the schedule assumes
+  /// stride-one L2 hits and the processor stalls on the difference).
+  kMemLatency = 2,
+};
+
+inline constexpr size_t kStallCauses = 3;
+
+inline const char* stall_cause_name(StallCause c) {
+  switch (c) {
+    case StallCause::kRaw: return "raw";
+    case StallCause::kFuConflict: return "fu_conflict";
+    case StallCause::kMemLatency: return "mem_latency";
+  }
+  return "?";
+}
+
+/// Per-cause stall cycle totals. Invariant (checked by
+/// tests/stall_matrix_test.cpp over the whole default matrix):
+/// total() == the stall_cycles of the scope the breakdown covers.
+struct StallBreakdown {
+  Cycle raw = 0;
+  Cycle fu_conflict = 0;
+  Cycle mem_latency = 0;
+
+  Cycle total() const { return raw + fu_conflict + mem_latency; }
+
+  void add(StallCause c, Cycle n) {
+    switch (c) {
+      case StallCause::kRaw: raw += n; break;
+      case StallCause::kFuConflict: fu_conflict += n; break;
+      case StallCause::kMemLatency: mem_latency += n; break;
+    }
+  }
+
+  StallBreakdown& operator+=(const StallBreakdown& o) {
+    raw += o.raw;
+    fu_conflict += o.fu_conflict;
+    mem_latency += o.mem_latency;
+    return *this;
+  }
+};
+
+/// Optional per-static-op stall accumulation ("which op do we wait on"):
+/// indexed by the op's position in the predecoded ExecImage (block-major
+/// issue order, the same index profile_report resolves back to
+/// block/word/slot). Attach to a Cpu with set_profile(); the Cpu sizes the
+/// vector on run() entry. Null by default — the hot path never touches it.
+struct StallProfile {
+  struct OpStall {
+    Cycle raw = 0;
+    Cycle fu_conflict = 0;
+    Cycle mem_latency = 0;
+    i64 events = 0;  // stalled word issues charged to this op
+
+    Cycle total() const { return raw + fu_conflict + mem_latency; }
+  };
+
+  std::vector<OpStall> by_op;
+
+  void record(u32 op_index, StallCause c, Cycle n) {
+    OpStall& s = by_op[op_index];
+    switch (c) {
+      case StallCause::kRaw: s.raw += n; break;
+      case StallCause::kFuConflict: s.fu_conflict += n; break;
+      case StallCause::kMemLatency: s.mem_latency += n; break;
+    }
+    ++s.events;
+  }
+};
+
+}  // namespace vuv

@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace vuv {
+namespace obs {
+
+namespace {
+
+// Mirrors FuClass (isa/opcode.hpp); indexed by the u8 the sink receives.
+const char* const kFuNames[] = {"none",   "int", "mem",   "branch",
+                                "simd",   "vec", "vecmem"};
+
+const char* fu_name(u8 fu) {
+  return fu < sizeof(kFuNames) / sizeof(kFuNames[0]) ? kFuNames[fu] : "?";
+}
+
+}  // namespace
+
+const char* mem_level_name(u8 level) {
+  switch (level) {
+    case 1: return "L1";
+    case 2: return "L2";
+    case 3: return "L3";
+    case 4: return "MEM";
+  }
+  return "?";
+}
+
+std::string trace_tid_label(i32 tid) {
+  switch (tid) {
+    case ChromeTraceSink::kTidWords: return "word issue";
+    case ChromeTraceSink::kTidStall: return "stalls";
+    case ChromeTraceSink::kTidCache: return "cache";
+    default: break;
+  }
+  const i32 rel = tid - ChromeTraceSink::kTidFuBase;
+  if (rel < 0) return "track " + std::to_string(tid);
+  return std::string("FU ") + fu_name(static_cast<u8>(rel / 16)) + "[" +
+         std::to_string(rel % 16) + "]";
+}
+
+void ChromeTraceSink::on_word(Cycle issue, i32 block, u8 region, u32 nops) {
+  (void)region;
+  events_.push_back({kTidWords, "word", issue, 1, "block", block, "ops",
+                     static_cast<i64>(nops)});
+}
+
+void ChromeTraceSink::on_stall(Cycle base, Cycle dur, StallCause cause) {
+  events_.push_back(
+      {kTidStall, stall_cause_name(cause), base, dur, nullptr, 0, nullptr, 0});
+}
+
+void ChromeTraceSink::on_op(u8 fu, i32 fu_inst, const char* name, Cycle issue,
+                            Cycle occ, Cycle done) {
+  events_.push_back({fu_tid(fu, fu_inst), name, issue, occ < 1 ? 1 : occ,
+                     "ready", done, nullptr, 0});
+}
+
+void ChromeTraceSink::on_mem(bool vector, bool store, Addr addr, u8 level,
+                             Cycle issue, Cycle ready) {
+  const Cycle dur = ready > issue ? ready - issue : 1;
+  events_.push_back({kTidCache, mem_level_name(level), issue, dur, "addr",
+                     static_cast<i64>(addr), store ? "store" : "load",
+                     vector ? 1 : 0});
+}
+
+void ChromeTraceSink::on_branch_bubble(Cycle at) {
+  events_.push_back(
+      {kTidStall, "branch_bubble", at, 1, nullptr, 0, nullptr, 0});
+}
+
+void ChromeTraceSink::write(std::ostream& os) const {
+  // Track labels first (metadata events carry no timestamp, so they never
+  // disturb per-track monotonicity), sorted by tid for stable output.
+  std::map<i32, std::string> tids;
+  for (const Event& e : events_) tids.emplace(e.tid, trace_tid_label(e.tid));
+
+  os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  for (const auto& [tid, label] : tids) {
+    os << (first ? "" : ",") << "\n  {\"ph\": \"M\", \"pid\": 0, \"tid\": "
+       << tid << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << label << "\"}}";
+    first = false;
+  }
+  for (const Event& e : events_) {
+    os << (first ? "" : ",") << "\n  {\"ph\": \"X\", \"pid\": 0, \"tid\": "
+       << e.tid << ", \"ts\": " << e.ts << ", \"dur\": " << e.dur
+       << ", \"name\": \"" << e.name << "\"";
+    if (e.k1 || e.k2) {
+      os << ", \"args\": {";
+      if (e.k1) os << "\"" << e.k1 << "\": " << e.v1;
+      if (e.k2) os << (e.k1 ? ", " : "") << "\"" << e.k2 << "\": " << e.v2;
+      os << "}";
+    }
+    os << "}";
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace obs
+}  // namespace vuv

@@ -10,7 +10,8 @@
 
 namespace vuv {
 
-HostPerf measure_host_perf(const SweepSpec& spec, RunnerOptions opts) {
+HostPerf measure_host_perf(const SweepSpec& spec, RunnerOptions opts,
+                           std::string* metrics_json) {
   Runner runner(opts);
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<CellOutcome> outcomes = runner.run(spec);
@@ -31,6 +32,7 @@ HostPerf measure_host_perf(const SweepSpec& spec, RunnerOptions opts) {
   }
   perf.cycles_per_second =
       wall > 0 ? static_cast<double>(perf.simulated_cycles) / wall : 0.0;
+  if (metrics_json) *metrics_json = runner.metrics().json();
   return perf;
 }
 

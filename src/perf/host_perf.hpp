@@ -33,7 +33,10 @@ struct HostPerf {
 /// the measured host cost, exactly as a cold vuv_sweep pays them) and
 /// measure host throughput. Throws SimError if any cell fails output
 /// verification: perf numbers for wrong results are meaningless.
-HostPerf measure_host_perf(const SweepSpec& spec, RunnerOptions opts);
+/// When `metrics_json` is non-null it receives the Runner's host-side
+/// metrics snapshot (obs::Registry JSON) from the measured run.
+HostPerf measure_host_perf(const SweepSpec& spec, RunnerOptions opts,
+                           std::string* metrics_json = nullptr);
 
 /// Machine-readable PERF_host.json.
 void write_host_perf_json(std::ostream& os, const HostPerf& perf,

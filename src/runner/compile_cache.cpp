@@ -1,9 +1,24 @@
 #include "runner/compile_cache.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
 #include "verify/schedcheck.hpp"
 
 namespace vuv {
+
+void CompileCache::set_metrics(obs::Registry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!metrics) {
+    m_hits_ = nullptr;
+    m_misses_ = nullptr;
+    m_build_us_ = nullptr;
+    return;
+  }
+  m_hits_ = &metrics->counter("compile_cache.hits");
+  m_misses_ = &metrics->counter("compile_cache.misses");
+  m_build_us_ = &metrics->histogram("compile_cache.build_us");
+}
 
 std::shared_ptr<const CompiledProgram> CompileCache::get(
     App app, Variant variant, const MachineConfig& cfg) {
@@ -22,9 +37,11 @@ std::shared_ptr<const CompiledProgram> CompileCache::get(
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      if (m_hits_) m_hits_->inc();
       entry = it->second;
     } else {
       ++stats_.misses;
+      if (m_misses_) m_misses_->inc();
       entry = promise.get_future().share();
       entries_.emplace(std::move(key), entry);
       owner = true;
@@ -33,6 +50,7 @@ std::shared_ptr<const CompiledProgram> CompileCache::get(
 
   if (owner) {
     // Compile outside the lock so independent keys compile concurrently.
+    const auto started = std::chrono::steady_clock::now();
     try {
       // Canonicalize the stored configuration to realistic memory: the
       // signature guarantees the schedule is identical either way, and
@@ -57,6 +75,10 @@ std::shared_ptr<const CompiledProgram> CompileCache::get(
           throw CompileError("strict image check (" + rep.summary() +
                              "): " + lint::to_string(*rep.first_error()));
       }
+      if (m_build_us_)
+        m_build_us_->observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                                 std::chrono::steady_clock::now() - started)
+                                 .count());
       promise.set_value(std::move(cp));
     } catch (...) {
       promise.set_exception(std::current_exception());

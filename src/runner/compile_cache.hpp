@@ -16,6 +16,7 @@
 #include <string>
 
 #include "apps/apps.hpp"
+#include "obs/metrics.hpp"
 #include "sched/schedule.hpp"
 #include "sim/image.hpp"
 
@@ -54,6 +55,12 @@ class CompileCache {
   void set_strict_verify(bool on) { strict_verify_ = on; }
   bool strict_verify() const { return strict_verify_; }
 
+  /// Mirror cache activity into a metrics registry (counters
+  /// compile_cache.hits / compile_cache.misses, histogram
+  /// compile_cache.build_us). The registry must outlive the cache;
+  /// call before the first get().
+  void set_metrics(obs::Registry* metrics);
+
  private:
   using Entry = std::shared_future<std::shared_ptr<const CompiledProgram>>;
 
@@ -61,6 +68,11 @@ class CompileCache {
   std::map<std::string, Entry> entries_;
   Stats stats_;
   std::atomic<bool> strict_verify_{false};
+
+  // Null when no registry is attached (see set_metrics).
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Histogram* m_build_us_ = nullptr;
 };
 
 }  // namespace vuv

@@ -18,15 +18,21 @@ const char* memory_mode(const CellOutcome& o) {
 void BenchJsonReport::write(std::ostream& os,
                             const std::vector<CellOutcome>& outcomes) const {
   os << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"metrics\": {";
-  for (size_t i = 0; i < outcomes.size(); ++i)
-    os << (i ? "," : "") << "\n    \"cycles." << outcomes[i].cell.key()
-       << "\": " << outcomes[i].result.sim.cycles;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const std::string key = outcomes[i].cell.key();
+    const SimResult& s = outcomes[i].result.sim;
+    os << (i ? "," : "") << "\n    \"cycles." << key << "\": " << s.cycles
+       << ",\n    \"stalls.raw." << key << "\": " << s.stalls.raw
+       << ",\n    \"stalls.fu." << key << "\": " << s.stalls.fu_conflict
+       << ",\n    \"stalls.mem." << key << "\": " << s.stalls.mem_latency;
+  }
   os << "\n  }\n}\n";
 }
 
 void CsvReport::write(std::ostream& os,
                       const std::vector<CellOutcome>& outcomes) const {
-  os << "app,variant,config,memory,verified,cycles,stall_cycles,ops,uops,"
+  os << "app,variant,config,memory,verified,cycles,stall_cycles,stall_raw,"
+        "stall_fu,stall_mem,ops,uops,"
         "vector_cycles,scalar_cycles,l1_hits,l1_misses,l2_hits,l2_misses,"
         "l3_hits,l3_misses\n";
   for (const CellOutcome& o : outcomes) {
@@ -34,7 +40,9 @@ void CsvReport::write(std::ostream& os,
     os << app_name(o.cell.app) << ',' << variant_name(o.cell.variant) << ','
        << o.cell.cfg.name << ',' << memory_mode(o) << ','
        << (o.result.verified ? 1 : 0) << ',' << s.cycles << ','
-       << s.stall_cycles << ',' << s.total_ops() << ',' << s.total_uops()
+       << s.stall_cycles << ',' << s.stalls.raw << ',' << s.stalls.fu_conflict
+       << ',' << s.stalls.mem_latency << ',' << s.total_ops() << ','
+       << s.total_uops()
        << ',' << s.vector_cycles() << ',' << s.scalar_cycles() << ','
        << s.mem.l1_hits << ',' << s.mem.l1_misses << ',' << s.mem.l2_hits
        << ',' << s.mem.l2_misses << ',' << s.mem.l3_hits << ','
@@ -64,12 +72,6 @@ std::unique_ptr<Report> make_report(const std::string& format,
   if (format == "table") return std::make_unique<TableReport>();
   throw Error("unknown report format: " + format +
               " (expected json, csv or table)");
-}
-
-std::string report_format_for_path(const std::string& path) {
-  if (path.ends_with(".json")) return "json";
-  if (path.ends_with(".csv")) return "csv";
-  return "table";
 }
 
 }  // namespace vuv

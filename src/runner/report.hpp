@@ -49,12 +49,9 @@ class TableReport : public Report {
              const std::vector<CellOutcome>& outcomes) const override;
 };
 
-/// Writer for "json", "csv" or "table"; throws Error otherwise.
+/// Writer for "json", "csv" or "table"; throws Error otherwise. Format
+/// inference from an output path lives in tools/cli.hpp (cli::pick_format).
 std::unique_ptr<Report> make_report(const std::string& format,
                                     const std::string& bench_name);
-
-/// Report format implied by a file name: ".json" -> json, ".csv" -> csv,
-/// anything else -> table.
-std::string report_format_for_path(const std::string& path);
 
 }  // namespace vuv

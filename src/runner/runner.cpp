@@ -15,7 +15,9 @@ i32 default_jobs() {
 }  // namespace
 
 Runner::Runner(RunnerOptions opts)
-    : pool_(opts.jobs > 0 ? opts.jobs : default_jobs()) {}
+    : pool_(opts.jobs > 0 ? opts.jobs : default_jobs(), &metrics_) {
+  compile_cache_.set_metrics(&metrics_);
+}
 
 Runner::Entry Runner::enqueue(const SweepCell& cell) {
   // The human-readable key alone would collide for two configurations that
@@ -57,6 +59,25 @@ Runner::Entry Runner::enqueue(const SweepCell& cell) {
           std::chrono::duration<double, std::milli>(
               std::chrono::steady_clock::now() - t0)
               .count();
+      // Aggregate simulated totals into the runner's metrics registry.
+      // Each distinct cell executes once (the result cache above), so the
+      // totals are dedup-exact; registry lookups are mutex-guarded but
+      // happen once per cell, not per cycle.
+      const SimResult& sim = outcome->result.sim;
+      metrics_.counter("sim.cells").inc();
+      metrics_.counter("sim.cycles").inc(sim.cycles);
+      metrics_.counter("sim.stall_cycles").inc(sim.stall_cycles);
+      metrics_.counter("sim.stall.raw").inc(sim.stalls.raw);
+      metrics_.counter("sim.stall.fu_conflict").inc(sim.stalls.fu_conflict);
+      metrics_.counter("sim.stall.mem_latency").inc(sim.stalls.mem_latency);
+      metrics_.counter("mem.l1.hits").inc(sim.mem.l1_hits);
+      metrics_.counter("mem.l1.misses").inc(sim.mem.l1_misses);
+      metrics_.counter("mem.l2.hits").inc(sim.mem.l2_hits);
+      metrics_.counter("mem.l2.misses").inc(sim.mem.l2_misses);
+      metrics_.counter("mem.l2.scalar_hits").inc(sim.mem.l2_scalar_hits);
+      metrics_.counter("mem.l2.scalar_misses").inc(sim.mem.l2_scalar_misses);
+      metrics_.counter("mem.l3.hits").inc(sim.mem.l3_hits);
+      metrics_.counter("mem.l3.misses").inc(sim.mem.l3_misses);
       promise->set_value(std::move(outcome));
     } catch (...) {
       promise->set_exception(std::current_exception());

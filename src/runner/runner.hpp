@@ -58,11 +58,18 @@ class Runner {
   CompileCache& compile_cache() { return compile_cache_; }
   i32 jobs() const { return pool_.threads(); }
 
+  /// Host-side runtime metrics (pool queue/latency, compile-cache activity,
+  /// per-level cache hit totals and simulated cycle counters aggregated
+  /// over every executed cell). Snapshot with metrics().json(). Operator
+  /// telemetry only — never part of the byte-stable reports.
+  obs::Registry& metrics() { return metrics_; }
+
  private:
   using Entry = std::shared_future<std::shared_ptr<const CellOutcome>>;
 
   Entry enqueue(const SweepCell& cell);
 
+  obs::Registry metrics_;  // declared first: everything below records into it
   CompileCache compile_cache_;
   std::mutex mu_;
   std::map<std::string, Entry> results_;

@@ -4,14 +4,30 @@
 
 namespace vuv {
 
-ThreadPool::ThreadPool(i32 threads) {
+namespace {
+
+i64 us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(i32 threads, obs::Registry* metrics) {
+  if (metrics) {
+    m_depth_ = &metrics->gauge("runner.queue_depth");
+    m_wait_us_ = &metrics->histogram("runner.task_wait_us");
+    m_run_us_ = &metrics->histogram("runner.task_run_us");
+    m_done_ = &metrics->counter("runner.tasks_completed");
+  }
   const i32 n = std::max<i32>(threads, 1);
   workers_.reserve(static_cast<size_t>(n));
   for (i32 i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
 
 ThreadPool::~ThreadPool() {
-  std::deque<std::function<void()>> discarded;
+  std::deque<Item> discarded;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -19,29 +35,45 @@ ThreadPool::~ThreadPool() {
     // simulating every remaining queued cell first.
     discarded.swap(queue_);
   }
+  if (m_depth_) m_depth_->sub(static_cast<i64>(discarded.size()));
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  Item item;
+  item.job = std::move(job);
+  if (m_depth_) {
+    item.enqueued = std::chrono::steady_clock::now();
+    m_depth_->add(1);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(std::move(item));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_) return;  // unstarted jobs were discarded by the destructor
-      job = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    if (m_depth_) {
+      m_depth_->sub(1);
+      m_wait_us_->observe(us_since(item.enqueued));
+      const auto started = std::chrono::steady_clock::now();
+      item.job();
+      m_run_us_->observe(us_since(started));
+      m_done_->inc();
+    } else {
+      item.job();
+    }
   }
 }
 

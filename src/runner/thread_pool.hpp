@@ -4,6 +4,7 @@
 // the pool itself never needs to know what a job computes.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace vuv {
 
@@ -20,7 +22,12 @@ class ThreadPool {
   /// `threads` < 1 is clamped to 1. A single-thread pool still runs jobs on
   /// a worker (not inline), so serial and parallel sweeps exercise the same
   /// code path and differ only in concurrency.
-  explicit ThreadPool(i32 threads);
+  ///
+  /// With `metrics` attached the pool instruments itself (gauge
+  /// runner.queue_depth with high-water max, histograms runner.task_wait_us
+  /// and runner.task_run_us, counter runner.tasks_completed); the registry
+  /// must outlive the pool.
+  explicit ThreadPool(i32 threads, obs::Registry* metrics = nullptr);
   /// Finishes jobs already running, discards jobs still queued (their
   /// promises break, which unblocks any stray waiter), then joins. Callers
   /// that need every submitted job executed must wait on their own
@@ -35,13 +42,25 @@ class ThreadPool {
   i32 threads() const { return static_cast<i32>(workers_.size()); }
 
  private:
+  struct Item {
+    std::function<void()> job;
+    std::chrono::steady_clock::time_point enqueued;  // only read with metrics
+  };
+
   void worker_loop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Item> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  // Resolved once at construction; update paths are lock-free (see
+  // obs/metrics.hpp). Null when no registry was attached.
+  obs::Gauge* m_depth_ = nullptr;
+  obs::Histogram* m_wait_us_ = nullptr;
+  obs::Histogram* m_run_us_ = nullptr;
+  obs::Counter* m_done_ = nullptr;
 };
 
 }  // namespace vuv

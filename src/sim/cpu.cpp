@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace vuv {
 
@@ -42,12 +43,13 @@ class FuTracker {
     return b[static_cast<size_t>(want - 1)];
   }
 
-  void take(u8 f, Cycle t, Cycle occ) {
+  /// Occupy the first free instance; returns its index (for tracing).
+  i32 take(u8 f, Cycle t, Cycle occ) {
     Slots& s = cls_[f];
     for (i32 i = 0; i < s.n; ++i)
       if (s.busy[static_cast<size_t>(i)] <= t) {
         s.busy[static_cast<size_t>(i)] = t + std::max<Cycle>(occ, 1);
-        return;
+        return i;
       }
     throw InternalError("pool take with no free instance");
   }
@@ -108,6 +110,14 @@ SimResult Cpu::run(Cycle max_cycles) {
   // one array indexed by the slots the image predecoded (see sim/image.hpp).
   std::vector<Cycle> board(im.n_slots, 0);
 
+  // Stall attribution state, parallel to the scoreboard: whether the last
+  // writer of a slot was a memory operation that completed later than the
+  // compiler's hit-latency assumption. A dependency stall on such a slot is
+  // charged to memory; on any other slot it is a scheduling-visibility RAW.
+  std::vector<u8> mem_delayed(im.n_slots, 0);
+
+  if (profile_) profile_->by_op.assign(im.ops.size(), {});
+
   FuTracker fus(cfg);
 
   MemorySystem memsys(cfg);
@@ -145,17 +155,54 @@ SimResult Cpu::run(Cycle max_cycles) {
       Cycle issue = base;
 
       // ---- pass A: issue-time constraints -------------------------------
+      // Track which constraint *bound* the issue time: the first one to
+      // reach the final maximum (strict >, so ties keep the earlier
+      // winner — deterministic, and `issue` is exactly the old max()).
+      u32 bind_slot = kNoSlot;  // scoreboard slot that bound, if any
+      u32 bind_op = w.op_begin; // op whose source bound (the stalled consumer)
+      u8 bind_fu = 0;           // FuClass that bound (0 = a slot bound)
       for (u32 oi = w.op_begin; oi != w.op_end; ++oi) {
         const DecodedOp& d = im.ops[oi];
-        for (u8 s = 0; s < d.n_ready; ++s)
-          issue = std::max(issue, board[d.ready[s]]);
+        for (u8 s = 0; s < d.n_ready; ++s) {
+          const Cycle t = board[d.ready[s]];
+          if (t > issue) {
+            issue = t;
+            bind_slot = d.ready[s];
+            bind_op = oi;
+          }
+        }
       }
-      for (u8 f = 0; f < w.n_fu; ++f)
-        issue = std::max(
-            issue, fus.free_at(w.fu_need[f].first, w.fu_need[f].second));
+      for (u8 f = 0; f < w.n_fu; ++f) {
+        const Cycle t = fus.free_at(w.fu_need[f].first, w.fu_need[f].second);
+        if (t > issue) {
+          issue = t;
+          bind_fu = w.fu_need[f].first;
+        }
+      }
 
-      res.stall_cycles += issue - base;
+      const Cycle stall = issue - base;
+      res.stall_cycles += stall;
+      if (stall > 0) {
+        StallCause cause;
+        u32 victim = bind_op;
+        if (bind_fu != 0) {
+          cause = StallCause::kFuConflict;
+          // Charge the word's first op contending for the bound FU class.
+          for (u32 oi = w.op_begin; oi != w.op_end; ++oi)
+            if (im.ops[oi].fu == bind_fu) {
+              victim = oi;
+              break;
+            }
+        } else {
+          cause = mem_delayed[bind_slot] ? StallCause::kMemLatency
+                                         : StallCause::kRaw;
+        }
+        reg.stalls.add(cause, stall);
+        if (profile_) profile_->record(victim, cause, stall);
+        if (trace_) trace_->on_stall(base, stall, cause);
+      }
       if (issue >= max_cycles) throw SimError("simulation exceeded cycle budget");
+      if (trace_) trace_->on_word(issue, block, blk.region, w.op_end - w.op_begin);
 
       // ---- pass B: execute, take resources, set ready times ---------------
       const u32 nops = w.op_end - w.op_begin;
@@ -167,6 +214,7 @@ SimResult Cpu::run(Cycle max_cycles) {
         Cycle dst_full = issue + d.latency;
         Cycle dst_chain = dst_full;
         Cycle occ = 1;
+        u8 mem_level = 0;
 
         if (ex.is_mem) {
           const MemResult mr =
@@ -177,6 +225,7 @@ SimResult Cpu::run(Cycle max_cycles) {
           dst_full = mr.ready;
           dst_chain = mr.chain_ready;
           occ = mr.port_busy;
+          mem_level = mr.level;
         } else if (d.is_vector) {
           // Vector compute: LN sub-operations per cycle.
           dst_full = issue + d.latency + (ex.vl - 1) / cfg.lanes;
@@ -184,14 +233,33 @@ SimResult Cpu::run(Cycle max_cycles) {
           occ = ceil_div(ex.vl, cfg.lanes);
         }
 
-        if (d.fu != 0) fus.take(d.fu, issue, occ);
+        i32 fu_inst = 0;
+        if (d.fu != 0) fu_inst = fus.take(d.fu, issue, occ);
+
+        if (trace_) {
+          trace_->on_op(d.fu, fu_inst, op_name(d.op), issue, occ, dst_full);
+          if (ex.is_mem)
+            trace_->on_mem(ex.mem_vector, ex.mem_store, ex.mem_addr, mem_level,
+                           issue, dst_full);
+        }
 
         if (d.wb_full != kNoSlot) {
           board[d.wb_full] = dst_full;
-          if (d.wb_chain != kNoSlot) board[d.wb_chain] = dst_chain;
+          mem_delayed[d.wb_full] = ex.is_mem && dst_full > issue + d.latency;
+          if (d.wb_chain != kNoSlot) {
+            board[d.wb_chain] = dst_chain;
+            mem_delayed[d.wb_chain] =
+                ex.is_mem && dst_chain > issue + d.latency;
+          }
         }
-        if (d.sets_vl) board[im.slot_vl] = issue + 1;
-        if (d.sets_vs) board[im.slot_vs] = issue + 1;
+        if (d.sets_vl) {
+          board[im.slot_vl] = issue + 1;
+          mem_delayed[im.slot_vl] = 0;
+        }
+        if (d.sets_vs) {
+          board[im.slot_vs] = issue + 1;
+          mem_delayed[im.slot_vs] = 0;
+        }
 
         if (ex.branch_taken) {
           taken = true;
@@ -210,9 +278,14 @@ SimResult Cpu::run(Cycle max_cycles) {
       exit_time = issue + 1;
     }
 
-    // Taken control transfers pay a one-cycle fetch bubble.
+    // Taken control transfers pay a one-cycle fetch bubble. Bubbles are
+    // part of the static control-flow cost, not of stall_cycles.
     Cycle next_time = exit_time + (taken ? 1 : 0);
-    if (taken) ++res.taken_branches;
+    if (taken) {
+      ++res.taken_branches;
+      ++res.branch_bubbles;
+      if (trace_) trace_->on_branch_bubble(exit_time);
+    }
     reg.cycles += next_time - block_entry;
 
     if (halted) {
@@ -226,6 +299,7 @@ SimResult Cpu::run(Cycle max_cycles) {
 
   res.cycles = now;
   res.mem = memsys.stats();
+  for (const RegionStats& r : res.regions) res.stalls += r.stalls;
   return res;
 }
 

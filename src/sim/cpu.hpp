@@ -13,10 +13,15 @@
 #include <memory>
 
 #include "mem/hierarchy.hpp"
+#include "obs/stall.hpp"
 #include "sched/schedule.hpp"
 #include "sim/exec.hpp"
 
 namespace vuv {
+
+namespace obs {
+class TraceSink;
+}
 
 struct RegionStats {
   std::string name;
@@ -24,13 +29,22 @@ struct RegionStats {
   i64 ops = 0;    // dynamic operations (what fetch/decode must handle)
   i64 uops = 0;   // dynamic µ-operations (sub-word items processed)
   i64 words = 0;  // dynamic VLIW instructions fetched
+  /// Per-cause split of the stall cycles charged inside this region;
+  /// stalls.total() is exactly this region's share of stall_cycles.
+  StallBreakdown stalls;
 };
 
 struct SimResult {
   std::string config_name;
   Cycle cycles = 0;
   Cycle stall_cycles = 0;  // cycles lost versus the static schedule
+  /// Exact per-cause split: stalls.total() == stall_cycles, always.
+  StallBreakdown stalls;
   i64 taken_branches = 0;
+  /// One-cycle fetch bubbles paid for taken control transfers. Reported
+  /// separately: they are part of the static control-flow cost, not of
+  /// stall_cycles (which measures slip versus the static schedule).
+  i64 branch_bubbles = 0;
   std::vector<RegionStats> regions;
   MemStats mem;
 
@@ -80,8 +94,22 @@ class Cpu {
   /// MemorySystem::warm).
   void warm(Addr start, u32 bytes) { warm_.emplace_back(start, bytes); }
 
+  /// Attach a pipeline trace sink for subsequent run() calls (nullptr to
+  /// detach). Sinks observe timing; they can never change it — with no
+  /// sink attached the replay loop is byte-for-byte the untraced code path.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
+  /// Attach a per-static-op stall profile (nullptr to detach). run()
+  /// resizes profile->by_op to the image's op count and accumulates every
+  /// stalled word issue against the op that bound it.
+  void set_profile(StallProfile* profile) { profile_ = profile; }
+
   /// Run to HALT. Throws SimError if `max_cycles` elapses first.
   SimResult run(Cycle max_cycles = 4'000'000'000LL);
+
+  /// The execution image being replayed (owned or shared). StallProfile op
+  /// indices index this image's `ops` (see obs/profile_report.hpp).
+  const ExecImage& image() const { return *image_; }
 
  private:
   const ScheduledProgram& sp_;
@@ -90,6 +118,8 @@ class Cpu {
   std::unique_ptr<const ExecImage> own_image_;  // set when not shared
   const ExecImage* image_ = nullptr;
   std::vector<std::pair<Addr, u32>> warm_;
+  obs::TraceSink* trace_ = nullptr;
+  StallProfile* profile_ = nullptr;
 };
 
 /// Convenience: compile + simulate, returning the result. Starts from a cold

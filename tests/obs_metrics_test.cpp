@@ -1,0 +1,206 @@
+// Unit tests for the obs metrics registry (counters, gauges, histograms,
+// byte-stable JSON snapshots) and the ChromeTraceSink event/JSON shape,
+// plus the ThreadPool/CompileCache instrumentation wired through Runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "isa/opcode.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "runner/runner.hpp"
+#include "runner/thread_pool.hpp"
+
+namespace vuv {
+namespace {
+
+TEST(Metrics, CounterGaugeBasics) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+
+  obs::Gauge g;
+  g.add(3);
+  g.add(4);  // level 7: new high-water mark
+  g.sub(5);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 7);
+  g.add(1);
+  EXPECT_EQ(g.max(), 7) << "a lower level must not move the high-water mark";
+}
+
+TEST(Metrics, HistogramPowerOfTwoBuckets) {
+  obs::Histogram h;
+  h.observe(0);   // bucket 0
+  h.observe(1);   // bucket 0
+  h.observe(2);   // bucket 1
+  h.observe(3);   // bucket 1
+  h.observe(4);   // bucket 2
+  h.observe(-9);  // clamps into bucket 0, contributes 0 to sum
+  const auto b = h.buckets();
+  EXPECT_EQ(b[0], 3);
+  EXPECT_EQ(b[1], 2);
+  EXPECT_EQ(b[2], 1);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.sum(), 10);
+  obs::Histogram top;
+  top.observe(i64{1} << 62);  // far past the last bucket boundary
+  EXPECT_EQ(top.buckets()[obs::Histogram::kBuckets - 1], 1);
+}
+
+TEST(Metrics, RegistryLookupAndKindCollision) {
+  obs::Registry reg;
+  obs::Counter& c1 = reg.counter("a.count");
+  obs::Counter& c2 = reg.counter("a.count");
+  EXPECT_EQ(&c1, &c2) << "same name must resolve to the same metric";
+  reg.gauge("a.level");
+  reg.histogram("a.lat");
+  EXPECT_THROW(reg.gauge("a.count"), Error);
+  EXPECT_THROW(reg.counter("a.lat"), Error);
+}
+
+TEST(Metrics, JsonSnapshotSortedAndByteStable) {
+  auto populate = [](obs::Registry& reg) {
+    reg.counter("z.last").inc(2);
+    reg.gauge("m.depth").add(5);
+    reg.gauge("m.depth").sub(3);
+    reg.counter("a.first").inc(1);
+    reg.histogram("q.lat").observe(7);
+  };
+  obs::Registry r1, r2;
+  populate(r1);
+  populate(r2);
+  EXPECT_EQ(r1.json(), r2.json()) << "equal values must snapshot identically";
+
+  const std::string j = r1.json();
+  const size_t a = j.find("a.first");
+  const size_t m = j.find("m.depth");
+  const size_t q = j.find("q.lat");
+  const size_t z = j.find("z.last");
+  ASSERT_NE(a, std::string::npos);
+  EXPECT_TRUE(a < m && m < q && q < z) << "names must be sorted:\n" << j;
+  EXPECT_NE(j.find("\"a.first\": 1"), std::string::npos);
+  EXPECT_NE(j.find("\"value\": 2"), std::string::npos);   // gauge level
+  EXPECT_NE(j.find("\"max\": 5"), std::string::npos);     // gauge high-water
+  EXPECT_NE(j.find("\"count\": 1"), std::string::npos);   // histogram
+  EXPECT_NE(j.find("\"metrics\""), std::string::npos);
+}
+
+TEST(Metrics, CountersSurviveConcurrentUpdates) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("hits");
+  obs::Gauge& g = reg.gauge("depth");
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        c.inc();
+        g.add(1);
+        g.sub(1);
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), 40000);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_GE(g.max(), 1);
+}
+
+TEST(Metrics, ThreadPoolInstrumentsItself) {
+  obs::Registry reg;
+  std::atomic<int> left{8};
+  {
+    ThreadPool pool(2, &reg);
+    for (int i = 0; i < 8; ++i)
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        left.fetch_sub(1);
+      });
+    // The destructor discards still-queued jobs; wait until all 8 ran.
+    while (left.load() > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(reg.counter("runner.tasks_completed").value(), 8);
+  EXPECT_EQ(reg.gauge("runner.queue_depth").value(), 0);
+  EXPECT_GE(reg.gauge("runner.queue_depth").max(), 1);
+  EXPECT_EQ(reg.histogram("runner.task_run_us").count(), 8);
+  EXPECT_EQ(reg.histogram("runner.task_wait_us").count(), 8);
+}
+
+TEST(Metrics, RunnerAggregatesSimAndCacheCounters) {
+  Runner runner(RunnerOptions{.jobs = 2});
+  const SweepSpec spec = SweepSpec::matrix(
+      {App::kGsmDec}, {MachineConfig::vliw(2)}, {false, true});
+  const std::vector<CellOutcome> outcomes = runner.run(spec);
+  ASSERT_EQ(outcomes.size(), 2u);
+
+  obs::Registry& m = runner.metrics();
+  EXPECT_EQ(m.counter("sim.cells").value(), 2);
+  Cycle cycles = 0, stalls = 0;
+  for (const CellOutcome& o : outcomes) {
+    cycles += o.result.sim.cycles;
+    stalls += o.result.sim.stall_cycles;
+  }
+  EXPECT_EQ(m.counter("sim.cycles").value(), cycles);
+  EXPECT_EQ(m.counter("sim.stall_cycles").value(), stalls);
+  EXPECT_EQ(m.counter("sim.stall.raw").value() +
+                m.counter("sim.stall.fu_conflict").value() +
+                m.counter("sim.stall.mem_latency").value(),
+            stalls);
+  // Two cells, one unique compile: the perfect-memory run hits the cache.
+  EXPECT_EQ(m.counter("compile_cache.misses").value(), 1);
+  EXPECT_EQ(m.counter("compile_cache.hits").value(), 1);
+  EXPECT_EQ(m.histogram("compile_cache.build_us").count(), 1);
+  // Realistic run touches the hierarchy; counters made it into the registry.
+  EXPECT_GT(m.counter("mem.l1.hits").value(), 0);
+}
+
+TEST(TraceSink, EventShapeAndJson) {
+  obs::ChromeTraceSink sink;
+  sink.on_word(10, 3, 1, 2);
+  sink.on_stall(11, 4, StallCause::kMemLatency);
+  sink.on_op(static_cast<u8>(FuClass::kInt), 0, "ADD", 15, 1, 16);
+  sink.on_mem(false, false, 0x40, 4, 15, 515);
+  sink.on_branch_bubble(20);
+  const auto& ev = sink.events();
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_EQ(ev[0].tid, obs::ChromeTraceSink::kTidWords);
+  EXPECT_EQ(ev[1].tid, obs::ChromeTraceSink::kTidStall);
+  EXPECT_EQ(ev[1].dur, 4);
+  EXPECT_STREQ(ev[1].name, "mem_latency");
+  EXPECT_EQ(ev[2].tid,
+            obs::ChromeTraceSink::fu_tid(static_cast<u8>(FuClass::kInt), 0));
+  EXPECT_EQ(ev[3].tid, obs::ChromeTraceSink::kTidCache);
+
+  std::ostringstream os;
+  sink.write(os);
+  const std::string j = os.str();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("thread_name"), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"M\""), std::string::npos);
+}
+
+TEST(TraceSink, LabelsCoverAllTracks) {
+  EXPECT_EQ(obs::trace_tid_label(obs::ChromeTraceSink::kTidWords),
+            "word issue");
+  EXPECT_EQ(obs::trace_tid_label(obs::ChromeTraceSink::kTidStall), "stalls");
+  EXPECT_EQ(obs::trace_tid_label(
+                obs::ChromeTraceSink::fu_tid(
+                    static_cast<u8>(FuClass::kVec), 1)),
+            "FU vec[1]");
+  EXPECT_STREQ(obs::mem_level_name(1), "L1");
+  EXPECT_STREQ(obs::mem_level_name(4), "MEM");
+  EXPECT_STREQ(stall_cause_name(StallCause::kRaw), "raw");
+  EXPECT_STREQ(stall_cause_name(StallCause::kFuConflict), "fu_conflict");
+  EXPECT_STREQ(stall_cause_name(StallCause::kMemLatency), "mem_latency");
+}
+
+}  // namespace
+}  // namespace vuv

@@ -1,0 +1,69 @@
+// Whole-matrix invariants of the stall attribution: over every cell of the
+// paper's default matrix (6 apps x 10 Table-2 configs, realistic memory)
+// the per-cause breakdown partitions stall_cycles exactly, region stats
+// partition the global totals, and branch bubbles equal taken branches.
+#include <gtest/gtest.h>
+
+#include "runner/runner.hpp"
+
+namespace vuv {
+namespace {
+
+TEST(StallMatrix, CausesPartitionStallCyclesEverywhere) {
+  Runner runner(RunnerOptions{});
+  const SweepSpec spec =
+      SweepSpec::matrix(table1_apps(), MachineConfig::all_table2(), {false});
+  const std::vector<CellOutcome> outcomes = runner.run(spec);
+  ASSERT_EQ(outcomes.size(), spec.size());
+
+  for (const CellOutcome& o : outcomes) {
+    const SimResult& s = o.result.sim;
+    ASSERT_TRUE(o.result.verified) << o.cell.key() << ": "
+                                   << o.result.verify_error;
+
+    // The three causes partition stall_cycles with no remainder.
+    EXPECT_EQ(s.stalls.total(), s.stall_cycles) << o.cell.key();
+
+    // Region stats partition the global counters.
+    Cycle region_cycles = 0;
+    StallBreakdown region_stalls;
+    for (const RegionStats& r : s.regions) {
+      region_cycles += r.cycles;
+      region_stalls += r.stalls;
+      EXPECT_EQ(r.stalls.total() <= r.cycles, true)
+          << o.cell.key() << ": region " << r.name
+          << " stalls exceed its cycles";
+    }
+    EXPECT_EQ(region_cycles, s.cycles) << o.cell.key();
+    EXPECT_EQ(region_stalls.raw, s.stalls.raw) << o.cell.key();
+    EXPECT_EQ(region_stalls.fu_conflict, s.stalls.fu_conflict)
+        << o.cell.key();
+    EXPECT_EQ(region_stalls.mem_latency, s.stalls.mem_latency)
+        << o.cell.key();
+
+    // Every taken control transfer pays exactly one fetch bubble, and the
+    // bubbles stay out of stall_cycles (they are static control-flow cost).
+    EXPECT_EQ(s.branch_bubbles, s.taken_branches) << o.cell.key();
+  }
+}
+
+// Perfect memory: the runtime hierarchy matches the compiler's assumption
+// cycle-for-cycle, so no stall can be attributed to memory latency.
+TEST(StallMatrix, PerfectMemoryHasNoMemLatencyStalls) {
+  Runner runner(RunnerOptions{});
+  const SweepSpec spec =
+      SweepSpec::matrix(table1_apps(), {MachineConfig::vliw(8),
+                                        MachineConfig::table2_by_name(
+                                            "Vector2-4w")},
+                        {true});
+  for (const CellOutcome& o : runner.run(spec)) {
+    ASSERT_TRUE(o.result.verified) << o.cell.key();
+    EXPECT_EQ(o.result.sim.stalls.mem_latency, 0)
+        << o.cell.key() << ": perfect memory cannot miss";
+    EXPECT_EQ(o.result.sim.stalls.total(), o.result.sim.stall_cycles)
+        << o.cell.key();
+  }
+}
+
+}  // namespace
+}  // namespace vuv

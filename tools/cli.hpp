@@ -1,7 +1,10 @@
-// Small argument-parsing helpers shared by the vuv_* command-line tools.
+// Small argument-parsing and output helpers shared by the vuv_* command-
+// line tools.
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,6 +36,33 @@ inline i32 parse_positive_int(const std::string& flag, const std::string& v) {
     throw Error("invalid value for " + flag + ": '" + v +
                 "' (expected a positive integer)");
   return static_cast<i32>(n);
+}
+
+/// Output format implied by --format/--out: an explicit `format` wins;
+/// otherwise the output path's extension decides (.json -> json,
+/// .csv -> csv), falling back to `dflt` (stdout default: a table).
+inline std::string pick_format(const std::string& format,
+                               const std::string& out_path,
+                               const std::string& dflt = "table") {
+  if (!format.empty()) return format;
+  if (out_path.ends_with(".json")) return "json";
+  if (out_path.ends_with(".csv")) return "csv";
+  return dflt;
+}
+
+/// Run `body(ostream&)` against stdout (path empty or "-") or against a
+/// freshly opened file, reporting where the output went on the side
+/// channel. Throws Error when the file cannot be opened.
+template <typename Body>
+void write_output(const std::string& path, Body&& body) {
+  if (path.empty() || path == "-") {
+    body(std::cout);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write " + path);
+  body(out);
+  std::cerr << "wrote " << path << "\n";
 }
 
 }  // namespace cli

@@ -210,12 +210,9 @@ int main(int argc, char** argv) {
       std::cout << "... " << suppressed
                 << " more warning(s) suppressed (--max-print)\n";
 
-    if (!json_path.empty()) {
-      std::ofstream jf(json_path);
-      if (!jf) throw Error("cannot write " + json_path);
-      jf << lint::to_json(diags);
-      std::cerr << "[vuv_lint] wrote " << json_path << "\n";
-    }
+    if (!json_path.empty())
+      cli::write_output(json_path,
+                        [&](std::ostream& os) { os << lint::to_json(diags); });
 
     std::cerr << "[vuv_lint] " << run.units << " program(s), "
               << run.schedules << " schedule check(s): "

@@ -33,6 +33,8 @@ options:
   --perfect            measure the perfect-memory matrix instead
   --out PATH           output JSON path (default: PERF_host.json; - = stdout)
   --name NAME          bench name embedded in the JSON (default: host_perf)
+  --metrics PATH       also write the runner's host-side metrics snapshot
+                       (thread pool, compile cache) as JSON to PATH
   --baseline PATH      compare against a committed PERF_host.json baseline
   --max-regress X      fail if wall_seconds > baseline * X (default 2.0)
   -h, --help           this text
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   RunnerOptions opts;
   bool perfect = false;
   std::string out_path = "PERF_host.json", name = "host_perf", baseline;
+  std::string metrics_path;
   double max_regress = 2.0;
 
   try {
@@ -74,6 +77,8 @@ int main(int argc, char** argv) {
         out_path = value();
       } else if (arg == "--name") {
         name = value();
+      } else if (arg == "--metrics") {
+        metrics_path = value();
       } else if (arg == "--baseline") {
         baseline = value();
       } else if (arg == "--max-regress") {
@@ -93,16 +98,16 @@ int main(int argc, char** argv) {
     if (spec.empty()) throw Error("the sweep spec selected no cells");
 
     std::cerr << "[vuv_perf] measuring " << spec.size() << " cells\n";
-    const HostPerf perf = measure_host_perf(spec, opts);
+    std::string metrics_json;
+    const HostPerf perf = measure_host_perf(
+        spec, opts, metrics_path.empty() ? nullptr : &metrics_json);
 
-    if (out_path == "-") {
-      write_host_perf_json(std::cout, perf, name);
-    } else {
-      std::ofstream f(out_path);
-      if (!f) throw Error("cannot write " + out_path);
-      write_host_perf_json(f, perf, name);
-      std::cout << "[vuv_perf] wrote " << out_path << "\n";
-    }
+    cli::write_output(out_path, [&](std::ostream& os) {
+      write_host_perf_json(os, perf, name);
+    });
+    if (!metrics_path.empty())
+      cli::write_output(metrics_path,
+                        [&](std::ostream& os) { os << metrics_json; });
     std::cerr << "[vuv_perf] " << perf.cells << " cells on " << perf.jobs
               << " worker(s): " << perf.wall_seconds << "s wall, "
               << perf.simulated_cycles << " simulated cycles ("

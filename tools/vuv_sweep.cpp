@@ -44,6 +44,9 @@ options:
                      (.json = BENCH-style json, .csv = csv, else table)
   --format F         override the report format: json, csv or table
   --name NAME        bench name embedded in json reports (default: sweep)
+  --metrics PATH     also write the runner's host-side metrics snapshot
+                     (thread pool, compile cache, aggregated cache hits)
+                     as JSON to PATH (- = stdout)
   --strict           run the static verifier inside every compile: full IR
                      lint plus independent schedule/image re-checks; any
                      error-severity finding fails the cell's compile
@@ -72,7 +75,7 @@ int main(int argc, char** argv) {
   std::vector<MachineConfig> cfgs = MachineConfig::all_table2();
   RunnerOptions opts;
   bool perfect = false, strict = false;
-  std::string filter, out_path, format, name = "sweep";
+  std::string filter, out_path, format, name = "sweep", metrics_path;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -109,6 +112,8 @@ int main(int argc, char** argv) {
         format = value();
       } else if (arg == "--name") {
         name = value();
+      } else if (arg == "--metrics") {
+        metrics_path = value();
       } else {
         throw Error("unknown option: " + arg + " (see --help)");
       }
@@ -128,18 +133,14 @@ int main(int argc, char** argv) {
                               std::chrono::steady_clock::now() - t0)
                               .count();
 
-    if (format.empty())
-      format = out_path.empty() ? "table" : report_format_for_path(out_path);
+    format = cli::pick_format(format, out_path);
     const std::unique_ptr<Report> report = make_report(format, name);
-    if (out_path.empty()) {
-      report->write(std::cout, outcomes);
-    } else {
-      std::ofstream f(out_path);
-      if (!f) throw Error("cannot write " + out_path);
-      report->write(f, outcomes);
-      std::cout << "[vuv_sweep] wrote " << out_path << " (" << format
-                << ")\n";
-    }
+    cli::write_output(out_path,
+                      [&](std::ostream& os) { report->write(os, outcomes); });
+
+    if (!metrics_path.empty())
+      cli::write_output(metrics_path,
+                        [&](std::ostream& os) { runner.metrics().write_json(os); });
 
     const CompileCache::Stats cs = runner.compile_cache().stats();
     std::cerr << "[vuv_sweep] " << outcomes.size() << " cells in "

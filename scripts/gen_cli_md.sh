@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Generate docs/CLI.md from the tools' own --help output (the shared
+# cli::Usage renderer), so the committed reference can never drift from
+# the binaries: CI regenerates it and diffs against the committed copy.
+#
+#   scripts/gen_cli_md.sh <dir-with-binaries> [output.md]
+#
+# With no output path the result goes to stdout.
+set -euo pipefail
+
+bindir="${1:?usage: gen_cli_md.sh <dir-with-binaries> [output.md]}"
+out="${2:-/dev/stdout}"
+
+tools=(vuv_sweep vuv_perf vuv_trace vuv_fuzz vuv_lint vuv_serve vuv_client)
+
+{
+  cat <<'HEADER'
+# Command-line reference
+
+Generated from the tools' own `--help` output by `scripts/gen_cli_md.sh`
+— do not edit by hand. CI regenerates this file and fails if it differs
+from the committed copy, so what you read here is exactly what the
+binaries print.
+
+Every tool shares the same conventions (rendered by `tools/cli.hpp`):
+reports go to stdout or `--out PATH`, logging and progress go to stderr,
+`-h`/`--help` prints the text below, and exit status is 0 on success,
+1 on a domain failure (verification, lint errors, perf regression),
+2 on usage or internal errors.
+HEADER
+  for tool in "${tools[@]}"; do
+    echo
+    echo "## $tool"
+    echo
+    echo '```text'
+    "$bindir/$tool" --help
+    echo '```'
+  done
+} > "$out"

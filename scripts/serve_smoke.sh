@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# End-to-end smoke test over the real binaries: start a vuv_serve daemon
+# on an ephemeral port, drive it with vuv_client, and assert the served
+# report is byte-identical to a direct vuv_sweep run of the same matrix.
+# Run by ctest as serve_cli_smoke (label: serve); usable by hand too:
+#
+#   scripts/serve_smoke.sh <dir-with-binaries>
+set -euo pipefail
+
+bindir="${1:?usage: serve_smoke.sh <dir-with-vuv_serve/vuv_client/vuv_sweep>}"
+workdir="$(mktemp -d)"
+server_pid=""
+
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -TERM "$server_pid" 2>/dev/null || true
+  [[ -n "$server_pid" ]] && wait "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+"$bindir/vuv_serve" --jobs 2 --queue-limit 64 \
+  > "$workdir/ready.txt" 2> "$workdir/serve.log" &
+server_pid=$!
+
+# The daemon prints "VUV_SERVE READY port=<port>" once it is listening.
+port=""
+for _ in $(seq 1 50); do
+  port="$(sed -n 's/^VUV_SERVE READY port=//p' "$workdir/ready.txt")"
+  [[ -n "$port" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || {
+    echo "serve_smoke: daemon died on startup" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[[ -n "$port" ]] || { echo "serve_smoke: no READY line" >&2; exit 1; }
+echo "serve_smoke: daemon on port $port"
+
+matrix=(--apps gsm_dec,jpeg_dec --configs VLIW-2w,uSIMD-2w,Vector2-4w)
+
+"$bindir/vuv_client" --port "$port" "${matrix[@]}" \
+  --format json --name smoke --out "$workdir/served.json"
+"$bindir/vuv_sweep" "${matrix[@]}" \
+  --format json --name smoke --out "$workdir/direct.json" 2> /dev/null
+
+cmp "$workdir/served.json" "$workdir/direct.json" || {
+  echo "serve_smoke: served report differs from direct vuv_sweep" >&2
+  exit 1
+}
+echo "serve_smoke: served report is byte-identical to direct"
+
+# Control round-trips and the same matrix again (served from the runner's
+# result cache this time).
+"$bindir/vuv_client" --port "$port" --ping > /dev/null
+"$bindir/vuv_client" --port "$port" --stats | grep -q '"serve.connections' || {
+  echo "serve_smoke: stats frame is missing serve metrics" >&2
+  exit 1
+}
+"$bindir/vuv_client" --port "$port" "${matrix[@]}" \
+  --format csv --out "$workdir/served.csv"
+"$bindir/vuv_sweep" "${matrix[@]}" \
+  --format csv --out "$workdir/direct.csv" 2> /dev/null
+cmp "$workdir/served.csv" "$workdir/direct.csv"
+
+# Clean shutdown on SIGTERM.
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+echo "serve_smoke: ok"

@@ -105,6 +105,13 @@ const AppResult& Runner::get(const SweepCell& cell) {
   return enqueue(cell).get()->result;
 }
 
+std::shared_ptr<const CellOutcome> Runner::get_for(
+    const SweepCell& cell, std::chrono::milliseconds timeout) {
+  Entry e = enqueue(cell);
+  if (e.wait_for(timeout) != std::future_status::ready) return nullptr;
+  return e.get();
+}
+
 const AppResult& Runner::get(App app, const MachineConfig& cfg, bool perfect) {
   SweepCell cell{app, variant_for(cfg.isa), cfg, perfect};
   return get(cell);

@@ -5,6 +5,7 @@
 // completion order, so a jobs=8 sweep reports byte-identically to jobs=1.
 #pragma once
 
+#include <chrono>
 #include <future>
 #include <map>
 #include <memory>
@@ -54,6 +55,14 @@ class Runner {
   /// Runner's lifetime.
   const AppResult& get(App app, const MachineConfig& cfg, bool perfect);
   const AppResult& get(const SweepCell& cell);
+
+  /// Timed single-cell query: enqueue (or find) the cell and wait up to
+  /// `timeout` for its outcome; nullptr on timeout (the cell stays in
+  /// flight and a later call picks it up). The serve layer streams results
+  /// through this so it can poll a cancellation flag between waits.
+  /// Compile/simulate exceptions propagate, as in run().
+  std::shared_ptr<const CellOutcome> get_for(const SweepCell& cell,
+                                             std::chrono::milliseconds timeout);
 
   CompileCache& compile_cache() { return compile_cache_; }
   i32 jobs() const { return pool_.threads(); }

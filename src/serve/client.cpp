@@ -1,0 +1,113 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+
+namespace vuv {
+namespace serve {
+
+Client::Client(const std::string& host, int port) {
+  fd_ = connect_tcp(host, port);
+  try {
+    const Response hello = next(10'000);
+    if (hello.op != Response::Op::kHello)
+      throw ProtocolError(ErrCode::kBadRequest,
+                          "expected hello banner, got: " + hello.raw);
+    version_ = hello.version;
+    if (version_ != kProtocolVersion)
+      throw ProtocolError(
+          ErrCode::kBadRequest,
+          "server speaks protocol v" + std::to_string(version_) +
+              ", this client speaks v" + std::to_string(kProtocolVersion));
+  } catch (...) {
+    close_fd(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+Client::~Client() { close_fd(fd_); }
+
+void Client::send_line(const std::string& line) { send_all(fd_, line + "\n"); }
+
+Response Client::next(int timeout_ms) {
+  std::string line;
+  while (true) {
+    if (frames_.pop_line(&line)) {
+      if (line.empty()) continue;
+      return decode_response(line);
+    }
+    if (!wait_readable(fd_, timeout_ms))
+      throw NetError("timed out waiting for the server");
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n <= 0) throw NetError("server closed the connection");
+    frames_.feed(buf, static_cast<size_t>(n));
+  }
+}
+
+SimRun Client::sim(const SimRequestNames& req,
+                   const std::function<bool(const Response&)>& on_cell,
+                   int timeout_ms) {
+  send_line(encode_sim_request(req));
+  SimRun run;
+  bool cancel_sent = false;
+  while (true) {
+    const Response r = next(timeout_ms);
+    switch (r.op) {
+      case Response::Op::kAck:
+        if (r.id == req.id) run.acked_cells = r.cells;
+        continue;
+      case Response::Op::kCell:
+        if (r.id != req.id) continue;  // stray frame from a previous request
+        run.outcomes.push_back(r.outcome);
+        if (on_cell && !on_cell(r) && !cancel_sent) {
+          send_line(encode_cancel_request(req.id));
+          cancel_sent = true;
+        }
+        continue;
+      case Response::Op::kDone:
+        if (r.id != req.id) continue;
+        run.ok = true;
+        return run;
+      case Response::Op::kError:
+        // Connection-level errors (empty id) also terminate the request:
+        // the server closes the connection after sending them.
+        if (!r.id.empty() && r.id != req.id) continue;
+        run.ok = false;
+        run.code = r.code;
+        run.retriable = r.retriable;
+        run.error = r.message;
+        return run;
+      default:
+        continue;  // pong/stats interleaved by another caller pattern
+    }
+  }
+}
+
+std::string Client::stats(int timeout_ms) {
+  send_line(encode_stats_request());
+  while (true) {
+    const Response r = next(timeout_ms);
+    if (r.op == Response::Op::kStats) return r.raw;
+    if (r.op == Response::Op::kError)
+      throw ProtocolError(r.code, r.message);
+  }
+}
+
+void Client::ping(int timeout_ms) {
+  send_line(encode_ping_request());
+  const Response r = next(timeout_ms);
+  if (r.op != Response::Op::kPong)
+    throw ProtocolError(ErrCode::kBadRequest, "expected pong, got: " + r.raw);
+}
+
+void Client::bye() {
+  try {
+    send_line(encode_bye_request());
+  } catch (const NetError&) {
+    // already gone — the dtor's close is all that is left to do
+  }
+}
+
+}  // namespace serve
+}  // namespace vuv

@@ -1,0 +1,74 @@
+// Blocking protocol client for vuv_serve: connect, speak docs/PROTOCOL.md
+// frames, collect streamed results. This is the library behind the
+// tools/vuv_client CLI and the loopback/soak tests — a third-party client
+// needs none of this, only the documented wire format.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace vuv {
+namespace serve {
+
+/// The outcome of one sim request as the client saw it.
+struct SimRun {
+  /// Cells received, in stream (= spec) order. On error/cancel this holds
+  /// the prefix streamed before the request terminated.
+  std::vector<CellOutcome> outcomes;
+  bool ok = false;             // terminated by `done`
+  ErrCode code = ErrCode::kInternal;  // terminating error's code when !ok
+  bool retriable = false;
+  std::string error;           // terminating error's message when !ok
+  size_t acked_cells = 0;      // cell count promised by the ack
+};
+
+class Client {
+ public:
+  /// Connect and consume the hello banner; throws NetError on connection
+  /// failure and ProtocolError when the server speaks an incompatible
+  /// protocol version.
+  Client(const std::string& host, int port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one raw frame (a '\n' is appended). Throws NetError.
+  void send_line(const std::string& line);
+
+  /// Block up to timeout_ms (-1: forever) for the next response frame.
+  /// Throws NetError on disconnect or timeout, ProtocolError on frames
+  /// this build cannot decode.
+  Response next(int timeout_ms = -1);
+
+  /// Submit a sim request and collect its whole stream. `on_cell`, when
+  /// given, observes each cell as it arrives and may return false to
+  /// cancel the request (the run then finishes with code kCanceled).
+  /// Per-frame waits use `timeout_ms`; a stuck server throws NetError.
+  SimRun sim(const SimRequestNames& req,
+             const std::function<bool(const Response&)>& on_cell = {},
+             int timeout_ms = 60'000);
+
+  /// One stats round-trip: the raw stats frame (JSON text).
+  std::string stats(int timeout_ms = 10'000);
+
+  /// Ping round-trip; throws on anything but a pong.
+  void ping(int timeout_ms = 10'000);
+
+  /// Polite goodbye (best-effort; the dtor just closes the socket).
+  void bye();
+
+  int protocol_version() const { return version_; }
+
+ private:
+  int fd_ = -1;
+  int version_ = 0;
+  LineBuffer frames_{kMaxFrameBytes};
+};
+
+}  // namespace serve
+}  // namespace vuv

@@ -1,0 +1,331 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace vuv {
+namespace serve {
+
+namespace {
+
+/// Recursive-descent parser over the whole input string. Positions are
+/// reported in the error messages so a rejected wire frame is debuggable
+/// from the client side.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after value");
+    return v;
+  }
+
+ private:
+  // Nesting deeper than any legitimate protocol message by two orders of
+  // magnitude; a hostile "[[[[..." frame fails cleanly instead of
+  // overflowing the stack.
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError(why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_lit(const char* lit) {
+    size_t n = 0;
+    while (lit[n]) ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_lit("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_lit("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_lit("null")) return Json(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      // Duplicate members: last one wins (the common lenient reading);
+      // protocol validation rejects what it does not understand anyway.
+      obj[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Json(std::move(obj));
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Json(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          u32 cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<u32>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<u32>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<u32>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8. Surrogates are passed through
+          // unpaired as their replacement-free raw encoding is never
+          // produced by our own writers; protocol strings are app/config
+          // names and program text, all ASCII in practice.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    bool integral = true;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    const std::string_view tok(s_.data() + start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("bad number");
+    if (integral) {
+      i64 v = 0;
+      const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), v);
+      if (ec == std::errc() && p == tok.end()) return Json(v);
+      // Falls through for out-of-i64-range integer literals.
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), d);
+    if (ec != std::errc() || p != tok.end()) fail("bad number");
+    return Json(d);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+void dump_value(const Json& v, std::string& out) {
+  switch (v.kind()) {
+    case Json::Kind::kNull: out += "null"; break;
+    case Json::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Json::Kind::kInt: out += std::to_string(v.as_int()); break;
+    case Json::Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v.as_double());
+      out += buf;
+      break;
+    }
+    case Json::Kind::kString:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      break;
+    case Json::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        dump_value(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse_document(); }
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) throw JsonError("expected bool");
+  return bool_;
+}
+
+i64 Json::as_int() const {
+  if (kind_ != Kind::kInt) throw JsonError("expected integer");
+  return int_;
+}
+
+double Json::as_double() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kDouble) throw JsonError("expected number");
+  return dbl_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) throw JsonError("expected string");
+  return str_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (kind_ != Kind::kArray) throw JsonError("expected array");
+  return arr_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (kind_ != Kind::kObject) throw JsonError("expected object");
+  return obj_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = obj_.find(key);
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace vuv

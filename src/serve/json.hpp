@@ -1,0 +1,99 @@
+// Minimal JSON value model + recursive-descent parser for the serve wire
+// protocol. The repo's report/metrics writers emit JSON by hand (they need
+// byte-stable field order, which a generic serializer would not give
+// them); this is the other direction — the first place the toolchain has
+// to *read* JSON produced by someone else, so it gets a real parser.
+//
+// Scope is deliberately the protocol's needs, not a general library:
+// UTF-8 pass-through (no surrogate-pair validation), numbers kept as i64
+// when the literal is integral (cycle counters must round-trip exactly;
+// doubles only carry 53 mantissa bits) and as double otherwise, and a
+// depth limit so hostile input cannot blow the stack.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace vuv {
+namespace serve {
+
+/// Malformed JSON text. Distinct from Error so protocol code can map it to
+/// the `bad_request` wire error code without string-matching.
+class JsonError : public Error {
+ public:
+  explicit JsonError(const std::string& what) : Error("json: " + what) {}
+};
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Object member order is not significant on the wire; a sorted map
+  /// keeps lookups simple and re-serialization deterministic.
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(i64 n) : kind_(Kind::kInt), int_(n) {}
+  Json(int n) : Json(static_cast<i64>(n)) {}
+  Json(double d) : kind_(Kind::kDouble), dbl_(d) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+  Json(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  Json(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  /// Parse exactly one JSON value spanning the whole input (trailing
+  /// whitespace allowed, trailing junk is an error). Throws JsonError.
+  static Json parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_number() const { return kind_ == Kind::kInt || kind_ == Kind::kDouble; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors throw JsonError on a kind mismatch: protocol handlers
+  // turn those directly into bad_request responses.
+  bool as_bool() const;
+  i64 as_int() const;      // kInt only — kDouble would silently truncate
+  double as_double() const;  // kInt or kDouble
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; null pointer when absent (or not an object —
+  /// callers check is_object first via as_object in dispatch).
+  const Json* find(const std::string& key) const;
+
+  /// Serialize. Objects emit members in sorted (map) order, strings are
+  /// escaped, doubles use shortest-round-trip formatting. One line — no
+  /// pretty-printing, matching the newline-delimited wire framing.
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  i64 int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Escape `s` as JSON string *contents* (no surrounding quotes): the hand
+/// writers in protocol.cpp use it to splice strings into preformatted
+/// messages.
+std::string json_escape(const std::string& s);
+
+}  // namespace serve
+}  // namespace vuv

@@ -1,0 +1,142 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace vuv {
+namespace serve {
+
+namespace {
+
+std::string errno_str() { return std::strerror(errno); }
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<u16>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw NetError("bad IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+int connect_tcp(const std::string& host, int port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError("socket: " + errno_str());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = errno_str();
+    ::close(fd);
+    throw NetError("connect " + host + ":" + std::to_string(port) + ": " + why);
+  }
+  // The protocol is small request lines answered by streamed result lines;
+  // Nagle would add 40ms-class delays to every exchange for nothing.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+int listen_tcp(const std::string& host, int port, int* bound_port) {
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError("socket: " + errno_str());
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string why = errno_str();
+    ::close(fd);
+    throw NetError("bind/listen " + host + ":" + std::to_string(port) + ": " + why);
+  }
+  if (bound_port) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof actual;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      const std::string why = errno_str();
+      ::close(fd);
+      throw NetError("getsockname: " + why);
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("send: " + errno_str());
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  while (true) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw NetError("poll: " + errno_str());
+    }
+    return r > 0;
+  }
+}
+
+void LineBuffer::feed(const char* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      if (overflow_) {
+        // The oversized line finally ended; resume framing, but the error
+        // for it has already been (or will be) raised by pop_line.
+        overflow_ = false;
+        partial_.clear();
+        continue;
+      }
+      if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+      ready_.push_back(std::move(partial_));
+      partial_.clear();
+      continue;
+    }
+    if (overflow_) continue;  // drain the oversized line
+    partial_.push_back(c);
+    if (partial_.size() > max_line_) {
+      overflow_ = true;
+      partial_.clear();
+    }
+  }
+}
+
+bool LineBuffer::pop_line(std::string* out) {
+  if (!ready_.empty()) {
+    *out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+  }
+  if (overflow_ && !overflow_reported_) {
+    overflow_reported_ = true;
+    throw NetError("line exceeds maximum frame size (" +
+                   std::to_string(max_line_) + " bytes)");
+  }
+  return false;
+}
+
+}  // namespace serve
+}  // namespace vuv

@@ -1,0 +1,75 @@
+// Small POSIX TCP helpers shared by the serve daemon and client: socket
+// setup, full-buffer sends, and a line framer that enforces the
+// protocol's maximum frame size while bytes stream in.
+//
+// Everything here is blocking I/O on plain file descriptors — the serve
+// layer's concurrency model is threads-per-connection (see server.hpp),
+// not an event loop, so the primitives stay synchronous and simple.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace vuv {
+namespace serve {
+
+/// Socket-level failure (bind, connect, send). Not a protocol error: the
+/// peer never sees these, the local caller does.
+class NetError : public Error {
+ public:
+  explicit NetError(const std::string& what) : Error("net: " + what) {}
+};
+
+/// Connect to host:port (numeric IPv4 host, e.g. "127.0.0.1"). Returns the
+/// connected fd; throws NetError.
+int connect_tcp(const std::string& host, int port);
+
+/// Bind + listen on host:port; port 0 picks an ephemeral port. Returns the
+/// listening fd and writes the actually-bound port to *bound_port.
+int listen_tcp(const std::string& host, int port, int* bound_port);
+
+/// Write all of `data` to fd, retrying short sends; SIGPIPE is suppressed
+/// (MSG_NOSIGNAL) so a peer disconnect surfaces as a NetError, not a
+/// process kill. Throws NetError when the connection drops mid-send.
+void send_all(int fd, const std::string& data);
+
+/// Close an fd, ignoring errors (teardown paths).
+void close_fd(int fd);
+
+/// Wait up to timeout_ms for fd to become readable. Returns true when
+/// readable (or the peer hung up — the next read reports that), false on
+/// timeout. Throws NetError on poll failure.
+bool wait_readable(int fd, int timeout_ms);
+
+/// Incremental newline framer. Feed raw reads in, pop complete lines out;
+/// a line longer than `max_line` flips the framer into an overflow state:
+/// pop_line throws NetError once, and the rest of the oversized line is
+/// discarded as it streams past (the connection is expected to close —
+/// there is no way to resynchronize a newline protocol after a frame the
+/// receiver refused to buffer).
+class LineBuffer {
+ public:
+  explicit LineBuffer(size_t max_line) : max_line_(max_line) {}
+
+  /// Append n bytes of raw input.
+  void feed(const char* data, size_t n);
+
+  /// Pop the next complete line (without its '\n'; a trailing '\r' is
+  /// stripped for telnet/nc friendliness). Returns false when no complete
+  /// line is buffered. Throws NetError the first time an oversized frame
+  /// is detected.
+  bool pop_line(std::string* out);
+
+ private:
+  size_t max_line_;
+  std::string partial_;
+  std::deque<std::string> ready_;
+  bool overflow_ = false;         // current line already over the limit
+  bool overflow_reported_ = false;
+};
+
+}  // namespace serve
+}  // namespace vuv

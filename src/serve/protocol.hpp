@@ -1,0 +1,192 @@
+// Wire protocol for the vuv_serve daemon — the C++ side of the contract
+// specified in docs/PROTOCOL.md (which is normative; this header cites
+// it rather than restating it). Version 1.
+//
+// Framing is newline-delimited JSON: one object per line, at most
+// kMaxFrameBytes per line. parse_request() validates and types incoming
+// client lines; the encode_* functions produce the server's response
+// lines (and the client reuses decode_cell/decode_response to read them).
+// Everything here is pure string<->struct transformation — no sockets, no
+// threads — so the whole grammar is unit-testable without a server.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "serve/json.hpp"
+
+namespace vuv {
+namespace serve {
+
+/// Protocol version spoken by this build. Carried in the server's hello
+/// banner; see docs/PROTOCOL.md "Versioning and compatibility".
+constexpr int kProtocolVersion = 1;
+
+/// Hard ceiling on one frame (one line), both directions. Large enough
+/// for a multi-thousand-op .vuvgen program, small enough that a hostile
+/// client cannot make the server buffer unbounded garbage.
+constexpr size_t kMaxFrameBytes = 1u << 20;
+
+// ---- error codes ------------------------------------------------------------
+
+/// Wire error codes (the `code` field of an `error` message). Stable
+/// strings — documented in docs/PROTOCOL.md, never renumbered/renamed
+/// within a major protocol version.
+enum class ErrCode {
+  kBadRequest,      // malformed JSON, missing/ill-typed fields, unknown op
+  kTooLarge,        // frame exceeded kMaxFrameBytes
+  kUnknownName,     // app/config/variant name not in this server's registry
+  kBadProgram,      // .vuvgen text failed to parse or compile
+  kOverloaded,      // admission queue full — retriable
+  kCanceled,        // request canceled by the client
+  kUnknownRequest,  // cancel named an id that is not in flight
+  kIdleTimeout,     // connection idle past the server's --idle-timeout
+  kShuttingDown,    // server is draining — retriable (against a new server)
+  kInternal,        // server-side failure; details in the message
+};
+
+const char* err_code_name(ErrCode c);
+
+/// Whether a client should retry the same request later (possibly against
+/// a restarted server) — load shedding and shutdown are transient states,
+/// everything else is a caller bug or a permanent failure.
+bool err_retriable(ErrCode c);
+
+/// A request that could not be served. Thrown by parse_request and by the
+/// server's request handlers; the session layer turns it into an `error`
+/// frame addressed to the offending request id.
+class ProtocolError : public Error {
+ public:
+  ProtocolError(ErrCode code, const std::string& what)
+      : Error(what), code(code) {}
+  ErrCode code;
+};
+
+// ---- requests (client -> server) --------------------------------------------
+
+struct SimRequest {
+  /// Client-chosen correlation id: nonempty, at most 64 bytes. Every
+  /// response frame belonging to this request echoes it.
+  std::string id;
+
+  /// Matrix mode: the cross-product of apps x configs x one memory mode,
+  /// exactly vuv_sweep's cell construction. Empty vectors mean the
+  /// server-side defaults (Table-1 apps, all Table-2 configs).
+  std::vector<App> apps;
+  std::vector<MachineConfig> cfgs;
+  bool perfect = false;
+  std::optional<Variant> variant;  // forced variant; default: best for ISA
+  std::string filter;              // substring filter over cell keys
+
+  /// Program mode: a raw .vuvgen program (ref/gen.hpp text format) run on
+  /// each requested config through the differential oracle. Mutually
+  /// exclusive with `apps`/`variant`/`filter`.
+  std::string program;
+
+  /// The expanded spec (matrix mode). Filled by parse_request.
+  SweepSpec spec;
+};
+
+struct Request {
+  enum class Op { kSim, kCancel, kStats, kPing, kBye };
+  Op op = Op::kPing;
+  SimRequest sim;         // op == kSim
+  std::string cancel_id;  // op == kCancel
+};
+
+/// Parse + validate one request line. Throws ProtocolError (bad JSON ->
+/// kBadRequest, unknown app/config/variant -> kUnknownName, ...).
+Request parse_request(const std::string& line);
+
+// ---- responses (server -> client) -------------------------------------------
+
+std::string encode_hello();
+std::string encode_ack(const std::string& id, size_t cells);
+std::string encode_done(const std::string& id, size_t cells);
+std::string encode_pong();
+/// `id` may be empty for connection-level errors (unparseable frame with
+/// no recoverable id, idle timeout).
+std::string encode_error(const std::string& id, ErrCode code,
+                         const std::string& message);
+
+/// One streamed result cell. Carries the complete SimResult (regions and
+/// memory statistics included), so a client can rebuild a CellOutcome
+/// that is byte-identical, through the runner/report.hpp writers, to what
+/// a local Runner would have produced.
+std::string encode_cell(const std::string& id, size_t seq,
+                        const CellOutcome& outcome);
+
+/// Program-mode result cell: a .vuvgen program has no registry App, so the
+/// frame carries the literal app name "program" plus the variant/config
+/// the cell ran under.
+std::string encode_program_cell(const std::string& id, size_t seq, Variant v,
+                                const std::string& cfg_name, bool perfect,
+                                const AppResult& result);
+
+/// Per-connection counters reported inside a `stats` response.
+struct ClientStats {
+  std::string peer;        // "addr:port" of the connection
+  i64 requests = 0;        // sim requests admitted
+  i64 cells_streamed = 0;  // cell frames sent
+  i64 shed = 0;            // sim requests rejected kOverloaded
+  i64 errors = 0;          // error frames sent
+};
+
+/// `metrics_json` is the obs::Registry snapshot ({"metrics": ...}) — it is
+/// embedded verbatim as the `metrics` member.
+std::string encode_stats(const std::string& metrics_json,
+                         const std::vector<ClientStats>& clients);
+
+// ---- client-side request encoding -------------------------------------------
+
+/// String-level sim request as a client composes it (names are resolved
+/// server-side against the server's registry, so a thin client needs no
+/// registry of its own).
+struct SimRequestNames {
+  std::string id;
+  std::vector<std::string> apps;
+  std::vector<std::string> configs;
+  bool perfect = false;
+  std::string variant;  // empty: best for each config's ISA
+  std::string filter;
+  std::string program;  // raw .vuvgen text; empty = matrix mode
+};
+
+std::string encode_sim_request(const SimRequestNames& req);
+std::string encode_cancel_request(const std::string& id);
+std::string encode_stats_request();
+std::string encode_ping_request();
+std::string encode_bye_request();
+
+// ---- client-side decoding ---------------------------------------------------
+
+struct Response {
+  enum class Op { kHello, kAck, kCell, kDone, kError, kPong, kStats };
+  Op op = Op::kPong;
+  int version = 0;     // kHello
+  std::string id;      // ack/cell/done/error
+  size_t cells = 0;    // ack/done
+  size_t seq = 0;      // cell
+  ErrCode code = ErrCode::kInternal;  // error
+  bool retriable = false;             // error
+  std::string message;                // error
+  std::string raw;     // the whole frame (stats payloads, debugging)
+  CellOutcome outcome;       // cell — see decode notes below
+  bool program_cell = false;  // cell came from a program-mode request
+};
+
+/// Parse one server response line. Throws ProtocolError(kBadRequest) on
+/// frames this protocol version does not understand.
+///
+/// For `cell` frames the embedded result is reconstructed into a full
+/// CellOutcome: app/variant/config names are resolved against this
+/// build's registry (MachineConfig::table2_by_name — v1 serves named
+/// Table-2 configurations only), so the decoded outcome feeds the report
+/// writers exactly like a locally-run cell. Program-mode cells keep
+/// cell.app defaulted and set result.app to the program name instead.
+Response decode_response(const std::string& line);
+
+}  // namespace serve
+}  // namespace vuv

@@ -1,0 +1,598 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.hpp"
+#include "ref/diff.hpp"
+#include "ref/gen.hpp"
+#include "serve/net.hpp"
+
+namespace vuv {
+namespace serve {
+
+using std::chrono::steady_clock;
+
+// How often blocked waits re-check the cancellation / shutdown flags. Low
+// enough that cancel and stop feel immediate, high enough to cost nothing.
+constexpr int kPollMs = 20;
+
+// ---- Session ----------------------------------------------------------------
+
+/// One admitted sim request queued on a session.
+struct Server::PendingSim {
+  SimRequest req;
+  std::atomic<bool> canceled{false};
+};
+
+/// One client connection: a reader thread (frames + control requests +
+/// admission) and a streamer thread (FIFO execution of admitted sim
+/// requests). Socket writes from both threads serialize on write_mu_.
+class Server::Session {
+ public:
+  Session(Server& srv, int fd, std::string peer)
+      : srv_(srv), fd_(fd), peer_(std::move(peer)) {}
+
+  ~Session() { close_fd(fd_); }
+
+  void start() {
+    reader_ = std::thread([this] { reader_loop(); });
+    streamer_ = std::thread([this] { streamer_loop(); });
+  }
+
+  /// Interrupt both threads: further reads see EOF, further sends fail.
+  void shutdown_socket() {
+    closed_.store(true);
+    ::shutdown(fd_, SHUT_RDWR);
+    q_cv_.notify_all();
+  }
+
+  void join() {
+    if (reader_.joinable()) reader_.join();
+    if (streamer_.joinable()) streamer_.join();
+  }
+
+  bool finished() const { return threads_done_.load() == 2; }
+
+  ClientStats stats() const {
+    ClientStats s;
+    s.peer = peer_;
+    s.requests = c_requests_.load();
+    s.cells_streamed = c_cells_.load();
+    s.shed = c_shed_.load();
+    s.errors = c_errors_.load();
+    return s;
+  }
+
+ private:
+  // ---- writing --------------------------------------------------------------
+
+  /// Send one frame; on a dead peer flips the session into teardown and
+  /// reports false (callers stop producing).
+  bool send_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (closed_.load()) return false;
+    try {
+      send_all(fd_, line + "\n");
+      return true;
+    } catch (const NetError&) {
+      closed_.store(true);
+      q_cv_.notify_all();
+      return false;
+    }
+  }
+
+  bool send_error(const std::string& id, ErrCode code, const std::string& msg) {
+    c_errors_.fetch_add(1);
+    return send_line(encode_error(id, code, msg));
+  }
+
+  // ---- reader ---------------------------------------------------------------
+
+  void reader_loop() {
+    send_line(encode_hello());
+    LineBuffer frames(kMaxFrameBytes);
+    char buf[4096];
+    auto last_activity = steady_clock::now();
+    while (!closed_.load()) {
+      bool readable = false;
+      try {
+        readable = wait_readable(fd_, 100);
+      } catch (const NetError&) {
+        break;
+      }
+      if (!readable) {
+        if (srv_.opts_.idle_timeout_ms > 0 && !busy()) {
+          const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                steady_clock::now() - last_activity)
+                                .count();
+          if (idle >= srv_.opts_.idle_timeout_ms) {
+            srv_.m_idle_timeouts_->inc();
+            send_error("", ErrCode::kIdleTimeout,
+                       "closing idle connection (idle-timeout " +
+                           std::to_string(srv_.opts_.idle_timeout_ms) + "ms)");
+            break;
+          }
+        }
+        continue;
+      }
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+      if (n <= 0) break;  // disconnect (0) or error (<0)
+      last_activity = steady_clock::now();
+      frames.feed(buf, static_cast<size_t>(n));
+      bool overflowed = false;
+      std::string line;
+      while (true) {
+        try {
+          if (!frames.pop_line(&line)) break;
+        } catch (const NetError& e) {
+          // Oversized frame: report and drop the connection — a newline
+          // protocol cannot resynchronize after a frame it refused to
+          // buffer (docs/PROTOCOL.md "Framing").
+          srv_.m_protocol_errors_->inc();
+          send_error("", ErrCode::kTooLarge, e.what());
+          overflowed = true;
+          break;
+        }
+        if (line.empty()) continue;  // blank keep-alive lines are legal
+        handle_line(line);
+      }
+      if (overflowed) break;
+    }
+    teardown();
+    srv_.m_connections_->sub(1);
+    threads_done_.fetch_add(1);
+  }
+
+  void handle_line(const std::string& line) {
+    Request req;
+    try {
+      req = parse_request(line);
+    } catch (const ProtocolError& e) {
+      srv_.m_protocol_errors_->inc();
+      // Best-effort: address the error to the request's id when the frame
+      // is valid JSON with one, so the client can fail just that request
+      // instead of treating it as a connection-level fault.
+      std::string id;
+      try {
+        const Json j = Json::parse(line);
+        const Json* id_field = j.find("id");
+        if (id_field && id_field->is_string() &&
+            id_field->as_string().size() <= 64)
+          id = id_field->as_string();
+      } catch (const JsonError&) {
+        // unparseable frame: connection-level error with an empty id
+      }
+      send_error(id, e.code, e.what());
+      return;
+    }
+    switch (req.op) {
+      case Request::Op::kPing:
+        send_line(encode_pong());
+        return;
+      case Request::Op::kBye:
+        closed_.store(true);
+        q_cv_.notify_all();
+        return;
+      case Request::Op::kStats:
+        send_line(encode_stats(srv_.metrics().json(), srv_.client_stats()));
+        return;
+      case Request::Op::kCancel:
+        handle_cancel(req.cancel_id);
+        return;
+      case Request::Op::kSim:
+        handle_sim(std::move(req.sim));
+        return;
+    }
+  }
+
+  void handle_cancel(const std::string& id) {
+    std::shared_ptr<PendingSim> dequeued;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(q_mu_);
+      if (active_ && active_->req.id == id && !active_->canceled.load()) {
+        active_->canceled.store(true);  // streamer emits the canceled error
+        found = true;
+      } else {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if ((*it)->req.id == id) {
+            dequeued = *it;
+            queue_.erase(it);
+            found = true;
+            break;
+          }
+        }
+      }
+    }
+    if (dequeued) {
+      // Never started: hand back its whole admission budget here.
+      srv_.release(request_cells(dequeued->req));
+      srv_.m_canceled_->inc();
+      send_error(id, ErrCode::kCanceled, "canceled before execution");
+      return;
+    }
+    if (found) {
+      srv_.m_canceled_->inc();
+      return;
+    }
+    send_error(id, ErrCode::kUnknownRequest,
+               "no in-flight request with id '" + id + "'");
+  }
+
+  static i64 request_cells(const SimRequest& req) {
+    return req.program.empty() ? static_cast<i64>(req.spec.size())
+                               : static_cast<i64>(req.cfgs.size());
+  }
+
+  void handle_sim(SimRequest sim) {
+    {
+      std::lock_guard<std::mutex> lock(q_mu_);
+      const bool dup =
+          (active_ && active_->req.id == sim.id) ||
+          std::any_of(queue_.begin(), queue_.end(),
+                      [&](const auto& p) { return p->req.id == sim.id; });
+      if (dup) {
+        send_error(sim.id, ErrCode::kBadRequest,
+                   "id '" + sim.id + "' is already in flight");
+        return;
+      }
+    }
+    const i64 cells = request_cells(sim);
+    if (srv_.stopping_.load()) {
+      send_error(sim.id, ErrCode::kShuttingDown, "server is draining");
+      return;
+    }
+    if (!srv_.try_admit(cells)) {
+      c_shed_.fetch_add(1);
+      srv_.m_shed_->inc();
+      send_error(sim.id, ErrCode::kOverloaded,
+                 "admission queue full (" + std::to_string(cells) +
+                     " cells requested, limit " +
+                     std::to_string(srv_.opts_.max_queued_cells) + ")");
+      return;
+    }
+    c_requests_.fetch_add(1);
+    srv_.m_requests_->inc();
+    auto pending = std::make_shared<PendingSim>();
+    pending->req = std::move(sim);
+    const std::string id = pending->req.id;
+    // Ack strictly before the first cell frame can exist: the streamer
+    // only sees the job once it is queued.
+    if (!send_line(encode_ack(id, static_cast<size_t>(cells)))) {
+      srv_.release(cells);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(q_mu_);
+      queue_.push_back(std::move(pending));
+    }
+    q_cv_.notify_all();
+  }
+
+  bool busy() {
+    std::lock_guard<std::mutex> lock(q_mu_);
+    return active_ != nullptr || !queue_.empty();
+  }
+
+  // ---- streamer -------------------------------------------------------------
+
+  void streamer_loop() {
+    while (true) {
+      std::shared_ptr<PendingSim> job;
+      {
+        std::unique_lock<std::mutex> lock(q_mu_);
+        q_cv_.wait(lock, [this] {
+          return closed_.load() || reader_done_ || !queue_.empty();
+        });
+        if (closed_.load() || (reader_done_ && queue_.empty())) break;
+        job = queue_.front();
+        queue_.pop_front();
+        active_ = job;
+      }
+      run_sim(*job);
+      {
+        std::lock_guard<std::mutex> lock(q_mu_);
+        active_.reset();
+      }
+    }
+    // Abandon whatever was still queued, returning its admission budget.
+    std::deque<std::shared_ptr<PendingSim>> orphans;
+    {
+      std::lock_guard<std::mutex> lock(q_mu_);
+      orphans.swap(queue_);
+    }
+    for (const auto& p : orphans) srv_.release(request_cells(p->req));
+    threads_done_.fetch_add(1);
+  }
+
+  void run_sim(PendingSim& job) {
+    if (job.req.program.empty())
+      run_matrix(job);
+    else
+      run_program(job);
+  }
+
+  /// Matrix mode: stream the spec's cells in spec order, each as soon as
+  /// it (and its predecessors) finished on the shared Runner. The Runner
+  /// is where cross-client batching happens: identical cells dedup onto
+  /// one result, identical programs onto one compile.
+  void run_matrix(PendingSim& job) {
+    const SweepSpec& spec = job.req.spec;
+    i64 budget = static_cast<i64>(spec.size());
+    srv_.runner_.prefetch(spec);
+    for (size_t i = 0; i < spec.cells.size(); ++i) {
+      std::shared_ptr<const CellOutcome> outcome;
+      while (true) {
+        if (job.canceled.load()) {
+          srv_.release(budget);
+          send_error(job.req.id, ErrCode::kCanceled,
+                     "canceled after " + std::to_string(i) + " cells");
+          return;
+        }
+        if (closed_.load() || srv_.stopping_.load()) {
+          srv_.release(budget);
+          return;
+        }
+        try {
+          outcome = srv_.runner_.get_for(spec.cells[i],
+                                         std::chrono::milliseconds(kPollMs));
+        } catch (const std::exception& e) {
+          // A cell failed to compile/simulate (possible under --strict).
+          // The request dies; cells already streamed stand.
+          srv_.release(budget);
+          send_error(job.req.id, ErrCode::kInternal, e.what());
+          return;
+        }
+        if (outcome) break;
+      }
+      if (!send_line(encode_cell(job.req.id, i, *outcome))) {
+        srv_.release(budget);
+        return;
+      }
+      --budget;
+      srv_.release(1);
+      c_cells_.fetch_add(1);
+      srv_.m_cells_streamed_->inc();
+    }
+    send_line(encode_done(job.req.id, spec.cells.size()));
+  }
+
+  /// Program mode: run the .vuvgen program on each requested config
+  /// through the differential oracle (reference interpreter vs the full
+  /// pipeline), on this session's thread. No cross-client dedup — raw
+  /// programs have no registry identity for the CompileCache to key on.
+  void run_program(PendingSim& job) {
+    i64 budget = static_cast<i64>(job.req.cfgs.size());
+    GenProgram prog;
+    GenBuilt built;
+    try {
+      prog = from_text(job.req.program);
+      built = materialize(prog);
+    } catch (const Error& e) {
+      srv_.release(budget);
+      send_error(job.req.id, ErrCode::kBadProgram, e.what());
+      return;
+    }
+    CompileOptions copts;
+    copts.strict_verify = srv_.opts_.strict;
+    copts.mem_extent = built.ws->used();
+    copts.unit = "serve";
+    for (size_t i = 0; i < job.req.cfgs.size(); ++i) {
+      if (job.canceled.load()) {
+        srv_.release(budget);
+        send_error(job.req.id, ErrCode::kCanceled,
+                   "canceled after " + std::to_string(i) + " cells");
+        return;
+      }
+      if (closed_.load() || srv_.stopping_.load()) {
+        srv_.release(budget);
+        return;
+      }
+      MachineConfig cfg = job.req.cfgs[i];
+      cfg.mem.perfect = job.req.perfect;
+      AppResult result;
+      result.app = "program";
+      result.config = cfg.name;
+      try {
+        const DiffReport rep = diff_program(built.program, built.ws->mem(),
+                                            built.ws->used(), cfg, {}, copts);
+        result.verified = rep.ok;
+        result.verify_error = rep.error;
+        result.sim = rep.sim;
+      } catch (const Error& e) {
+        srv_.release(budget);
+        send_error(job.req.id, ErrCode::kBadProgram, e.what());
+        return;
+      }
+      if (!send_line(encode_program_cell(job.req.id, i, prog.variant, cfg.name,
+                                         job.req.perfect, result))) {
+        srv_.release(budget);
+        return;
+      }
+      --budget;
+      srv_.release(1);
+      c_cells_.fetch_add(1);
+      srv_.m_cells_streamed_->inc();
+    }
+    send_line(encode_done(job.req.id, job.req.cfgs.size()));
+  }
+
+  // ---- teardown -------------------------------------------------------------
+
+  void teardown() {
+    closed_.store(true);
+    {
+      std::lock_guard<std::mutex> lock(q_mu_);
+      reader_done_ = true;
+      if (active_) active_->canceled.store(true);
+    }
+    q_cv_.notify_all();
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  Server& srv_;
+  int fd_;
+  std::string peer_;
+  std::atomic<bool> closed_{false};
+  std::atomic<int> threads_done_{0};
+
+  std::mutex write_mu_;
+
+  std::mutex q_mu_;
+  std::condition_variable q_cv_;
+  std::deque<std::shared_ptr<PendingSim>> queue_;
+  std::shared_ptr<PendingSim> active_;
+  bool reader_done_ = false;
+
+  std::thread reader_;
+  std::thread streamer_;
+
+  std::atomic<i64> c_requests_{0};
+  std::atomic<i64> c_cells_{0};
+  std::atomic<i64> c_shed_{0};
+  std::atomic<i64> c_errors_{0};
+};
+
+// ---- Server -----------------------------------------------------------------
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), runner_(RunnerOptions{opts_.jobs}) {
+  if (opts_.strict) runner_.compile_cache().set_strict_verify(true);
+  obs::Registry& m = runner_.metrics();
+  m_connections_ = &m.gauge("serve.connections");
+  m_queue_cells_ = &m.gauge("serve.queue_cells");
+  m_connections_total_ = &m.counter("serve.connections_total");
+  m_requests_ = &m.counter("serve.requests");
+  m_cells_streamed_ = &m.counter("serve.cells_streamed");
+  m_shed_ = &m.counter("serve.shed");
+  m_canceled_ = &m.counter("serve.canceled");
+  m_protocol_errors_ = &m.counter("serve.protocol_errors");
+  m_idle_timeouts_ = &m.counter("serve.idle_timeouts");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  VUV_CHECK(!started_ && !stopped_, "Server::start called twice");
+  listen_fd_ = listen_tcp(opts_.host, opts_.port, &port_);
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  VUV_INFO("vuv_serve listening on " << opts_.host << ":" << port_);
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    bool readable = false;
+    try {
+      readable = wait_readable(listen_fd_, 100);
+    } catch (const NetError&) {
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      reap_finished_sessions();
+    }
+    if (!readable) continue;
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      continue;  // transient accept failure (EINTR, aborted handshake)
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    char ip[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+    std::string peer_str =
+        std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
+    m_connections_total_->inc();
+    m_connections_->add(1);
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.push_back(std::make_unique<Session>(*this, fd, std::move(peer_str)));
+    sessions_.back()->start();
+  }
+}
+
+void Server::reap_finished_sessions() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->finished()) {
+      (*it)->join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<ClientStats> Server::client_stats() {
+  std::vector<ClientStats> out;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s->stats());
+  return out;
+}
+
+bool Server::try_admit(i64 cells) {
+  // An empty queue always admits, whatever the request's size — otherwise
+  // a request larger than the configured bound could never run at all.
+  // A non-empty queue sheds anything that would push past the bound.
+  const i64 before = queued_cells_.fetch_add(cells);
+  if (before != 0 && before + cells > opts_.max_queued_cells) {
+    queued_cells_.fetch_sub(cells);
+    return false;
+  }
+  m_queue_cells_->add(cells);
+  return true;
+}
+
+void Server::release(i64 cells) {
+  if (cells <= 0) return;
+  queued_cells_.fetch_sub(cells);
+  m_queue_cells_->sub(cells);
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_ || !started_) {
+      stopped_ = true;
+      stop_cv_.notify_all();
+      return;
+    }
+    stopped_ = true;
+  }
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close_fd(listen_fd_);
+  listen_fd_ = -1;
+
+  std::list<std::unique_ptr<Session>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    doomed.swap(sessions_);
+  }
+  for (const auto& s : doomed) s->shutdown_socket();
+  for (const auto& s : doomed) s->join();
+  doomed.clear();
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    while (!stopped_ && !stop_requested_.load())
+      stop_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+  stop();
+}
+
+}  // namespace serve
+}  // namespace vuv

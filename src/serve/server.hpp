@@ -1,0 +1,135 @@
+// Simulation-as-a-service daemon core: a TCP server speaking the
+// newline-delimited JSON protocol of docs/PROTOCOL.md, scheduling client
+// requests onto one shared Runner (thread pool + CompileCache), with a
+// bounded admission queue, explicit load shedding, per-request
+// cancellation and idle-connection timeouts.
+//
+// Concurrency model — threads, not an event loop. One accept thread; per
+// connection a *reader* thread (parses frames, answers control requests,
+// admits sim requests) and a *streamer* thread (executes admitted sim
+// requests FIFO, emitting `cell` frames in spec order as cells finish).
+// Cross-client parallelism and compile deduplication come from the shared
+// Runner underneath — the serve layer adds session state, flow control
+// and wire formatting, never its own simulation path, which is why
+// server-mediated results are byte-identical to direct Runner output
+// (DESIGN.md "Serving and batching").
+//
+// Backpressure: admission is counted in *cells* (the unit of work the
+// pool schedules). A sim request whose cell count would push the total
+// of admitted-but-unstreamed cells past ServerOptions::max_queued_cells
+// is rejected whole with the retriable `overloaded` error and costs the
+// server nothing. Admitted cells release their budget as their frames are
+// sent (or their request is canceled / its connection dies).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "serve/protocol.hpp"
+
+namespace vuv {
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (tests) — read it back via port().
+  int port = 0;
+  /// Runner worker threads; 0 = hardware concurrency.
+  i32 jobs = 0;
+  /// Admission-queue bound, in cells. A request that would push the total
+  /// of admitted-but-unstreamed cells past this is shed with the retriable
+  /// `overloaded` error — except when the queue is empty, which always
+  /// admits (a request larger than the bound must still be runnable).
+  i64 max_queued_cells = 256;
+  /// Disconnect a client after this many milliseconds with no inbound
+  /// request and no in-flight work. 0 disables the timeout.
+  int idle_timeout_ms = 0;
+  /// Run the static verifier inside every compile (vuv_sweep --strict).
+  bool strict = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  /// Equivalent to stop().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and spawn the accept thread. Throws NetError when the
+  /// port cannot be bound.
+  void start();
+
+  /// Stop accepting, shut every connection down, join all threads. Safe to
+  /// call twice; start() cannot be called again afterwards.
+  void stop();
+
+  /// Block until stop() is called (from a signal handler's request via
+  /// request_stop(), or another thread).
+  void wait();
+
+  /// Signal-handler-safe shutdown request: flags the accept loop to stop;
+  /// wait() then performs the actual teardown on its own thread.
+  void request_stop() { stop_requested_.store(true); }
+
+  /// The actually-bound port (useful with port 0).
+  int port() const { return port_; }
+
+  Runner& runner() { return runner_; }
+  obs::Registry& metrics() { return runner_.metrics(); }
+
+ private:
+  struct PendingSim;
+  class Session;
+
+  void accept_loop();
+  void reap_finished_sessions();  // caller holds sessions_mu_
+
+  /// Per-connection counter snapshot across live sessions (stats frames).
+  std::vector<ClientStats> client_stats();
+
+  /// Admission control: try to reserve `cells` units of queue budget.
+  bool try_admit(i64 cells);
+  void release(i64 cells);
+
+  ServerOptions opts_;
+  Runner runner_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread accept_thread_;
+
+  std::mutex sessions_mu_;
+  std::list<std::unique_ptr<Session>> sessions_;
+
+  std::atomic<i64> queued_cells_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  // Resolved-once metric instruments (see obs/metrics.hpp).
+  obs::Gauge* m_connections_ = nullptr;
+  obs::Gauge* m_queue_cells_ = nullptr;
+  obs::Counter* m_connections_total_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_cells_streamed_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_canceled_ = nullptr;
+  obs::Counter* m_protocol_errors_ = nullptr;
+  obs::Counter* m_idle_timeouts_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace vuv

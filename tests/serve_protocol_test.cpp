@@ -1,0 +1,267 @@
+// Wire-protocol tests for the vuv_serve subsystem, all socket-free: the
+// JSON codec, frame parsing/validation (malformed frames, oversized
+// frames, error-code mapping), request/response round-trips, and the
+// LineBuffer framing used by both sides. docs/PROTOCOL.md is the
+// normative spec these lock down.
+#include <gtest/gtest.h>
+
+#include "runner/runner.hpp"
+#include "serve/json.hpp"
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace vuv {
+namespace serve {
+namespace {
+
+// ---- json ------------------------------------------------------------------
+
+TEST(ServeJson, ParseDumpRoundTrip) {
+  const std::string text =
+      R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":-9007199254740993})";
+  const Json v = Json::parse(text);
+  const Json::Array& a = v.find("a")->as_array();
+  EXPECT_EQ(a[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(a[1].as_double(), 2.5);
+  EXPECT_EQ(a[2].as_string(), "x");
+  const Json* b = v.find("b");
+  EXPECT_TRUE(b->find("c")->as_bool());
+  EXPECT_TRUE(b->find("d")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  // i64 integers survive exactly (no double rounding at 2^53).
+  EXPECT_EQ(v.find("e")->as_int(), -9007199254740993);
+  // dump -> parse is stable.
+  EXPECT_EQ(Json::parse(v.dump()).dump(), v.dump());
+}
+
+TEST(ServeJson, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), JsonError);
+  // Depth bomb: 100 nested arrays exceeds kMaxDepth.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(Json::parse(deep), JsonError);
+}
+
+TEST(ServeJson, EscapesStrings) {
+  Json s;
+  s = Json(std::string("a\"b\\c\n\t\x01"));
+  const std::string dumped = s.dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  EXPECT_EQ(Json::parse(dumped).as_string(), "a\"b\\c\n\t\x01");
+}
+
+// ---- error codes -----------------------------------------------------------
+
+TEST(ServeProtocol, ErrorCodesAreStableStrings) {
+  // Wire-frozen: renaming any of these breaks third-party clients.
+  EXPECT_STREQ(err_code_name(ErrCode::kBadRequest), "bad_request");
+  EXPECT_STREQ(err_code_name(ErrCode::kTooLarge), "too_large");
+  EXPECT_STREQ(err_code_name(ErrCode::kUnknownName), "unknown_name");
+  EXPECT_STREQ(err_code_name(ErrCode::kBadProgram), "bad_program");
+  EXPECT_STREQ(err_code_name(ErrCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(err_code_name(ErrCode::kCanceled), "canceled");
+  EXPECT_STREQ(err_code_name(ErrCode::kUnknownRequest), "unknown_request");
+  EXPECT_STREQ(err_code_name(ErrCode::kIdleTimeout), "idle_timeout");
+  EXPECT_STREQ(err_code_name(ErrCode::kShuttingDown), "shutting_down");
+  EXPECT_STREQ(err_code_name(ErrCode::kInternal), "internal");
+
+  // Exactly the transient conditions are retriable.
+  EXPECT_TRUE(err_retriable(ErrCode::kOverloaded));
+  EXPECT_TRUE(err_retriable(ErrCode::kShuttingDown));
+  EXPECT_FALSE(err_retriable(ErrCode::kBadRequest));
+  EXPECT_FALSE(err_retriable(ErrCode::kCanceled));
+  EXPECT_FALSE(err_retriable(ErrCode::kInternal));
+}
+
+// ---- request parsing -------------------------------------------------------
+
+ErrCode code_of(const std::string& line) {
+  try {
+    parse_request(line);
+  } catch (const ProtocolError& e) {
+    return e.code;
+  }
+  ADD_FAILURE() << "expected ProtocolError for: " << line;
+  return ErrCode::kInternal;
+}
+
+TEST(ServeProtocol, ParsesControlRequests) {
+  EXPECT_EQ(parse_request(R"({"op":"ping"})").op, Request::Op::kPing);
+  EXPECT_EQ(parse_request(R"({"op":"bye"})").op, Request::Op::kBye);
+  EXPECT_EQ(parse_request(R"({"op":"stats"})").op, Request::Op::kStats);
+  const Request c = parse_request(R"({"op":"cancel","id":"job-1"})");
+  EXPECT_EQ(c.op, Request::Op::kCancel);
+  EXPECT_EQ(c.cancel_id, "job-1");
+}
+
+TEST(ServeProtocol, SimRequestDefaultsToFullMatrix) {
+  const Request r = parse_request(R"({"op":"sim","id":"m"})");
+  ASSERT_EQ(r.op, Request::Op::kSim);
+  // Table-1 apps x all Table-2 configs x one memory mode.
+  EXPECT_EQ(r.sim.spec.size(),
+            table1_apps().size() * MachineConfig::all_table2().size());
+  EXPECT_FALSE(r.sim.perfect);
+}
+
+TEST(ServeProtocol, SimRequestExpandsNamesAndFilter) {
+  const Request r = parse_request(
+      R"({"op":"sim","id":"m","apps":["gsm_dec"],)"
+      R"("configs":["VLIW-2w","Vector2-4w"],"perfect":true,)"
+      R"("filter":"VLIW"})");
+  ASSERT_EQ(r.sim.spec.size(), 1u);
+  EXPECT_EQ(r.sim.spec.cells[0].key(), "gsm_dec|scalar|VLIW-2w|p");
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  EXPECT_EQ(code_of("not json at all"), ErrCode::kBadRequest);
+  EXPECT_EQ(code_of("{}"), ErrCode::kBadRequest);          // no op
+  EXPECT_EQ(code_of(R"({"op":"warp"})"), ErrCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op":"sim"})"), ErrCode::kBadRequest);  // no id
+  EXPECT_EQ(code_of(R"({"op":"sim","id":""})"), ErrCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op":"sim","id":12})"), ErrCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op":"cancel"})"), ErrCode::kBadRequest);
+  // id length cap: 64 bytes.
+  EXPECT_EQ(code_of(R"({"op":"sim","id":")" + std::string(65, 'x') + R"("})"),
+            ErrCode::kBadRequest);
+  // Unknown registry names get their own code so clients can tell a typo
+  // from a framing bug.
+  EXPECT_EQ(code_of(R"({"op":"sim","id":"m","apps":["gsm_dac"]})"),
+            ErrCode::kUnknownName);
+  EXPECT_EQ(code_of(R"({"op":"sim","id":"m","configs":["VLIW-3w"]})"),
+            ErrCode::kUnknownName);
+  EXPECT_EQ(code_of(R"({"op":"sim","id":"m","variant":"turbo"})"),
+            ErrCode::kUnknownName);
+  // Program mode excludes the matrix-only fields.
+  EXPECT_EQ(
+      code_of(R"({"op":"sim","id":"m","program":"x","apps":["gsm_dec"]})"),
+      ErrCode::kBadRequest);
+  // A filter that empties the spec is a caller bug, reported as such.
+  EXPECT_EQ(code_of(R"({"op":"sim","id":"m","filter":"no-such-cell"})"),
+            ErrCode::kBadRequest);
+}
+
+// ---- response encode/decode round-trips ------------------------------------
+
+TEST(ServeProtocol, HelloAckDoneErrorRoundTrip) {
+  const Response hello = decode_response(encode_hello());
+  EXPECT_EQ(hello.op, Response::Op::kHello);
+  EXPECT_EQ(hello.version, kProtocolVersion);
+
+  const Response ack = decode_response(encode_ack("job-1", 60));
+  EXPECT_EQ(ack.op, Response::Op::kAck);
+  EXPECT_EQ(ack.id, "job-1");
+  EXPECT_EQ(ack.cells, 60u);
+
+  const Response done = decode_response(encode_done("job-1", 60));
+  EXPECT_EQ(done.op, Response::Op::kDone);
+  EXPECT_EQ(done.cells, 60u);
+
+  const Response err =
+      decode_response(encode_error("job-1", ErrCode::kOverloaded, "full"));
+  EXPECT_EQ(err.op, Response::Op::kError);
+  EXPECT_EQ(err.code, ErrCode::kOverloaded);
+  EXPECT_TRUE(err.retriable);
+  EXPECT_EQ(err.message, "full");
+
+  EXPECT_EQ(decode_response(encode_pong()).op, Response::Op::kPong);
+}
+
+TEST(ServeProtocol, CellRoundTripPreservesTheFullResult) {
+  // A real cell, so every SimResult field is exercised with live values.
+  Runner runner(RunnerOptions{.jobs = 1});
+  const SweepSpec spec = SweepSpec::matrix(
+      {App::kGsmDec}, {MachineConfig::vector2(4)}, {false});
+  const std::vector<CellOutcome> direct = runner.run(spec);
+  ASSERT_EQ(direct.size(), 1u);
+
+  const Response r = decode_response(encode_cell("job-1", 0, direct[0]));
+  ASSERT_EQ(r.op, Response::Op::kCell);
+  EXPECT_EQ(r.seq, 0u);
+  EXPECT_FALSE(r.program_cell);
+
+  const SimResult& a = direct[0].result.sim;
+  const SimResult& b = r.outcome.result.sim;
+  EXPECT_EQ(r.outcome.cell.key(), direct[0].cell.key());
+  EXPECT_EQ(r.outcome.result.app, direct[0].result.app);
+  EXPECT_EQ(r.outcome.result.verified, direct[0].result.verified);
+  EXPECT_EQ(b.cycles, a.cycles);
+  EXPECT_EQ(b.stall_cycles, a.stall_cycles);
+  EXPECT_EQ(b.stalls.raw, a.stalls.raw);
+  EXPECT_EQ(b.stalls.fu_conflict, a.stalls.fu_conflict);
+  EXPECT_EQ(b.stalls.mem_latency, a.stalls.mem_latency);
+  EXPECT_EQ(b.taken_branches, a.taken_branches);
+  EXPECT_EQ(b.branch_bubbles, a.branch_bubbles);
+  EXPECT_EQ(b.mem.l1_hits, a.mem.l1_hits);
+  EXPECT_EQ(b.mem.l1_misses, a.mem.l1_misses);
+  EXPECT_EQ(b.mem.l2_hits, a.mem.l2_hits);
+  EXPECT_EQ(b.mem.l2_misses, a.mem.l2_misses);
+  EXPECT_EQ(b.mem.l3_hits, a.mem.l3_hits);
+  EXPECT_EQ(b.mem.l3_misses, a.mem.l3_misses);
+  ASSERT_EQ(b.regions.size(), a.regions.size());
+  for (size_t i = 0; i < a.regions.size(); ++i) {
+    EXPECT_EQ(b.regions[i].name, a.regions[i].name);
+    EXPECT_EQ(b.regions[i].cycles, a.regions[i].cycles);
+    EXPECT_EQ(b.regions[i].stalls.mem_latency, a.regions[i].stalls.mem_latency);
+  }
+}
+
+TEST(ServeProtocol, DecodeRejectsUnknownFrames) {
+  EXPECT_THROW(decode_response("garbage"), ProtocolError);
+  EXPECT_THROW(decode_response(R"({"op":"warp"})"), ProtocolError);
+  EXPECT_THROW(decode_response(R"({"no_op":1})"), ProtocolError);
+}
+
+TEST(ServeProtocol, ClientRequestEncodersMatchTheServerParser) {
+  SimRequestNames names;
+  names.id = "job-9";
+  names.apps = {"gsm_dec", "jpeg_enc"};
+  names.configs = {"VLIW-2w"};
+  names.perfect = true;
+  const Request r = parse_request(encode_sim_request(names));
+  ASSERT_EQ(r.op, Request::Op::kSim);
+  EXPECT_EQ(r.sim.id, "job-9");
+  EXPECT_EQ(r.sim.spec.size(), 2u);
+  EXPECT_TRUE(r.sim.perfect);
+
+  EXPECT_EQ(parse_request(encode_cancel_request("job-9")).cancel_id, "job-9");
+  EXPECT_EQ(parse_request(encode_stats_request()).op, Request::Op::kStats);
+  EXPECT_EQ(parse_request(encode_ping_request()).op, Request::Op::kPing);
+  EXPECT_EQ(parse_request(encode_bye_request()).op, Request::Op::kBye);
+}
+
+// ---- framing ---------------------------------------------------------------
+
+TEST(ServeFraming, SplitsAndStripsFrames) {
+  LineBuffer buf(64);
+  buf.feed("a\nbb\r\n", 6);
+  std::string line;
+  ASSERT_TRUE(buf.pop_line(&line));
+  EXPECT_EQ(line, "a");
+  ASSERT_TRUE(buf.pop_line(&line));
+  EXPECT_EQ(line, "bb");  // \r stripped: telnet/nc friendliness
+  EXPECT_FALSE(buf.pop_line(&line));
+  // Partial frame completes across feeds.
+  buf.feed("cc", 2);
+  EXPECT_FALSE(buf.pop_line(&line));
+  buf.feed("c\n", 2);
+  ASSERT_TRUE(buf.pop_line(&line));
+  EXPECT_EQ(line, "ccc");
+}
+
+TEST(ServeFraming, OversizedFrameThrowsOnce) {
+  LineBuffer buf(8);
+  const std::string big(32, 'x');
+  buf.feed(big.data(), big.size());
+  std::string line;
+  EXPECT_THROW(buf.pop_line(&line), NetError);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vuv

@@ -1,0 +1,175 @@
+// Multi-client soak test for the vuv_serve daemon: N concurrent client
+// threads hammer one server with mixed workloads — sweep matrices,
+// program-mode requests, control traffic, cancellations, garbage frames
+// and abrupt mid-stream disconnects — while a small admission queue
+// forces real load shedding. Everything must drain cleanly: every
+// well-formed request ends in done/canceled/overloaded, the server keeps
+// serving throughout, and the whole dance is data-race-free (CI runs this
+// under ThreadSanitizer).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace vuv {
+namespace serve {
+namespace {
+
+constexpr int kClients = 8;
+constexpr int kRoundsPerClient = 3;
+
+struct SoakTally {
+  std::atomic<int> done{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> canceled{0};
+  std::atomic<int> disconnects{0};
+  std::atomic<int> garbage_errors{0};
+  std::atomic<int> failures{0};  // anything the protocol does not allow
+};
+
+/// One client's workload, chosen by thread index so the mix is fixed and
+/// reproducible: no host randomness, just different behavior per lane.
+void soak_client(int lane, int port, SoakTally& tally) {
+  for (int round = 0; round < kRoundsPerClient; ++round) {
+    try {
+      Client client("127.0.0.1", port);
+      const std::string id =
+          "lane" + std::to_string(lane) + "-r" + std::to_string(round);
+      switch (lane % 4) {
+        case 0: {
+          // Small sweep matrices, varying app by round.
+          SimRequestNames req;
+          req.id = id;
+          req.apps = {round % 2 ? "gsm_enc" : "gsm_dec"};
+          req.configs = {"VLIW-2w", "uSIMD-2w", "Vector2-2w"};
+          const SimRun run = client.sim(req);
+          if (run.ok) {
+            tally.done.fetch_add(1);
+            if (run.outcomes.size() != 3u) tally.failures.fetch_add(1);
+          } else if (run.code == ErrCode::kOverloaded && run.retriable) {
+            tally.shed.fetch_add(1);
+          } else {
+            tally.failures.fetch_add(1);
+          }
+          client.bye();
+          break;
+        }
+        case 1: {
+          // Program mode through the differential oracle.
+          SimRequestNames req;
+          req.id = id;
+          req.configs = {"uSIMD-2w"};
+          req.program =
+              "vuvgen 1\n"
+              "variant musimd\n"
+              "seed 0\n"
+              "atom straight\n"
+              "  op add r1 r0 r2 - 0 0\n"
+              "  op m.PADDB s1 s0 s2 - 0 0\n"
+              "end\n";
+          const SimRun run = client.sim(req);
+          if (run.ok) {
+            tally.done.fetch_add(1);
+          } else if (run.code == ErrCode::kOverloaded && run.retriable) {
+            tally.shed.fetch_add(1);
+          } else {
+            tally.failures.fetch_add(1);
+          }
+          client.bye();
+          break;
+        }
+        case 2: {
+          // Cancellation under load plus interleaved control traffic.
+          client.ping();
+          SimRequestNames req;
+          req.id = id;
+          req.apps = {"gsm_dec", "gsm_enc"};
+          const SimRun run =
+              client.sim(req, [](const Response&) { return false; });
+          if (run.ok || run.code == ErrCode::kCanceled) {
+            // Cached cells may finish the stream before the cancel lands —
+            // both terminations are protocol-legal.
+            tally.canceled.fetch_add(1);
+          } else if (run.code == ErrCode::kOverloaded && run.retriable) {
+            tally.shed.fetch_add(1);
+          } else {
+            tally.failures.fetch_add(1);
+          }
+          client.stats();
+          client.bye();
+          break;
+        }
+        default: {
+          // Hostile lane: garbage frames, then a request abandoned
+          // mid-stream by an abrupt disconnect (no bye).
+          client.send_line("{{{ not json");
+          const Response err = client.next(30'000);
+          if (err.op == Response::Op::kError &&
+              err.code == ErrCode::kBadRequest)
+            tally.garbage_errors.fetch_add(1);
+          else
+            tally.failures.fetch_add(1);
+          SimRequestNames req;
+          req.id = id;
+          req.apps = {"gsm_dec"};
+          client.send_line(encode_sim_request(req));
+          // Walk away with frames in flight: ~Client closes the socket.
+          tally.disconnects.fetch_add(1);
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "lane " << lane << " round " << round << ": "
+                    << e.what();
+      tally.failures.fetch_add(1);
+    }
+  }
+}
+
+TEST(ServeSoak, ConcurrentClientsMixedWorkloadsDrainCleanly) {
+  ServerOptions opts;
+  opts.jobs = 2;
+  opts.max_queued_cells = 8;  // small enough that shedding actually happens
+  Server server(opts);
+  server.start();
+
+  SoakTally tally;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int lane = 0; lane < kClients; ++lane)
+    clients.emplace_back(soak_client, lane, server.port(), std::ref(tally));
+  for (std::thread& t : clients) t.join();
+
+  // The server must still be fully functional after the storm.
+  {
+    Client survivor("127.0.0.1", server.port());
+    survivor.ping();
+    SimRequestNames req;
+    req.id = "post-soak";
+    req.apps = {"gsm_dec"};
+    req.configs = {"VLIW-2w"};
+    const SimRun run = survivor.sim(req);
+    EXPECT_TRUE(run.ok) << run.error;
+    const std::string stats = survivor.stats();
+    EXPECT_NE(stats.find("serve.connections_total"), std::string::npos);
+    survivor.bye();
+  }
+  server.stop();
+
+  EXPECT_EQ(tally.failures.load(), 0);
+  // Six well-behaved lanes (sweep, program, cancel) x 3 rounds each: every
+  // request ended in a protocol-legal terminal state.
+  EXPECT_EQ(tally.done.load() + tally.shed.load() + tally.canceled.load(),
+            6 * kRoundsPerClient);
+  // Two hostile lanes x 3 rounds: each got its bad_request and vanished.
+  EXPECT_EQ(tally.garbage_errors.load(), 2 * kRoundsPerClient);
+  EXPECT_EQ(tally.disconnects.load(), 2 * kRoundsPerClient);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vuv

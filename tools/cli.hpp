@@ -2,6 +2,7 @@
 // line tools.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -14,6 +15,73 @@
 
 namespace vuv {
 namespace cli {
+
+/// One documented command-line option. `desc` may span several lines
+/// (embedded '\n'); continuation lines are indented to the description
+/// column by Usage::text().
+struct UsageOpt {
+  const char* flag;
+  const char* desc;
+};
+
+/// Declarative --help text shared by every vuv_* tool, rendered by one
+/// formatter so all CLIs read alike and docs/CLI.md can be generated (and
+/// CI-diffed) from the binaries themselves — see scripts/gen_cli_md.sh.
+struct Usage {
+  const char* name;     // binary name, e.g. "vuv_sweep"
+  const char* summary;  // one line: what the tool does
+  /// Optional free paragraph(s) after the summary ("" for none). Printed
+  /// verbatim, so pre-wrap to < 80 columns.
+  const char* description = "";
+  std::vector<UsageOpt> options;
+  std::vector<const char*> examples;
+
+  /// Deterministic rendering: synopsis, summary, description, an aligned
+  /// options table (with `-h, --help` appended automatically), examples.
+  std::string text() const {
+    std::string out = "usage: ";
+    out += name;
+    out += " [options]\n\n";
+    out += summary;
+    out += "\n";
+    if (description[0] != '\0') {
+      out += "\n";
+      out += description;
+      out += "\n";
+    }
+    std::vector<UsageOpt> opts = options;
+    opts.push_back({"-h, --help", "print this help and exit"});
+    size_t width = 0;
+    for (const UsageOpt& o : opts) width = std::max(width, std::string(o.flag).size());
+    out += "\noptions:\n";
+    for (const UsageOpt& o : opts) {
+      std::string line = "  ";
+      line += o.flag;
+      line.resize(2 + width + 2, ' ');
+      std::stringstream desc(o.desc);
+      std::string part;
+      bool first = true;
+      while (std::getline(desc, part)) {
+        if (first) {
+          out += line + part + "\n";
+          first = false;
+        } else {
+          out += std::string(2 + width + 2, ' ') + part + "\n";
+        }
+      }
+      if (first) out += line + "\n";  // empty description
+    }
+    if (!examples.empty()) {
+      out += "\nexamples:\n";
+      for (const char* e : examples) {
+        out += "  ";
+        out += e;
+        out += "\n";
+      }
+    }
+    return out;
+  }
+};
 
 inline std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;

@@ -1,0 +1,218 @@
+// vuv_client — command-line client for the vuv_serve daemon. Submits a
+// sweep matrix (or a raw .vuvgen program), streams the per-cell results
+// and renders them through the same report writers as vuv_sweep, so a
+// served sweep is byte-identical to a local one (docs/PROTOCOL.md,
+// DESIGN.md "Serving and batching").
+//
+//   vuv_client --port 7777                       # default 60-cell matrix
+//   vuv_client --port 7777 --apps gsm_dec --configs VLIW-2w --out s.json
+//   vuv_client --port 7777 --program prog.vuvgen
+//   vuv_client --port 7777 --stats               # server metrics snapshot
+//   vuv_client --port 7777 --cancel-after 3      # cancellation round-trip
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "cli.hpp"
+#include "runner/report.hpp"
+#include "serve/client.hpp"
+
+using namespace vuv;
+
+namespace {
+
+const cli::Usage kUsage{
+    "vuv_client",
+    "Submit simulation requests to a vuv_serve daemon and collect the\n"
+    "streamed results (wire format: docs/PROTOCOL.md).",
+    "Matrix requests reuse vuv_sweep's report writers, so --out/--format\n"
+    "output is byte-identical to running the same matrix locally.",
+    {
+        {"--host ADDR", "server address (default 127.0.0.1)"},
+        {"--port N", "server TCP port (required; see the daemon's\n"
+                     "VUV_SERVE READY line)"},
+        {"--id NAME", "request correlation id (default: cli)"},
+        {"--apps a,b,...", "apps to request (default: server-side default,\n"
+                           "the six Table-1 codecs)"},
+        {"--configs a,b,...",
+         "Table-2 configuration names (default: all ten)"},
+        {"--perfect", "request the perfect-memory matrix (paper 5.1)"},
+        {"--variant V", "force one code variant: scalar, musimd or vector"},
+        {"--filter SUBSTR", "server-side cell-key substring filter"},
+        {"--program FILE",
+         "program mode: send FILE's .vuvgen text instead of a\n"
+         "matrix; each requested config runs it through the\n"
+         "differential oracle"},
+        {"--out PATH",
+         "write the report to PATH; format from the extension\n"
+         "(.json = BENCH-style json, .csv = csv, else table)"},
+        {"--format F", "override the report format: json, csv or table"},
+        {"--name NAME", "bench name embedded in json reports (default: sweep)"},
+        {"--stats", "print the server's stats frame (JSON) and exit"},
+        {"--ping", "one ping/pong round-trip and exit"},
+        {"--cancel-after N", "cancel the request after N streamed cells"},
+        {"--retries N",
+         "on a retriable error (overloaded, shutting_down),\n"
+         "retry up to N times with linear backoff (default 0)"},
+    },
+    {
+        "vuv_client --port 7777                       # default 60-cell matrix",
+        "vuv_client --port 7777 --apps gsm_dec --configs VLIW-2w --out s.json",
+        "vuv_client --port 7777 --program prog.vuvgen",
+        "vuv_client --port 7777 --stats",
+    }};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot read " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  serve::SimRequestNames req;
+  req.id = "cli";
+  std::string out_path, format, name = "sweep", program_path;
+  bool do_stats = false, do_ping = false;
+  i32 cancel_after = 0, retries = 0;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "-h" || arg == "--help") {
+        std::cout << kUsage.text();
+        return 0;
+      } else if (arg == "--host") {
+        host = value();
+      } else if (arg == "--port") {
+        port = cli::parse_positive_int(arg, value());
+      } else if (arg == "--id") {
+        req.id = value();
+      } else if (arg == "--apps") {
+        req.apps = cli::split_csv(value());
+      } else if (arg == "--configs") {
+        req.configs = cli::split_csv(value());
+      } else if (arg == "--perfect") {
+        req.perfect = true;
+      } else if (arg == "--variant") {
+        req.variant = value();
+      } else if (arg == "--filter") {
+        req.filter = value();
+      } else if (arg == "--program") {
+        program_path = value();
+      } else if (arg == "--out") {
+        out_path = value();
+      } else if (arg == "--format") {
+        format = value();
+      } else if (arg == "--name") {
+        name = value();
+      } else if (arg == "--stats") {
+        do_stats = true;
+      } else if (arg == "--ping") {
+        do_ping = true;
+      } else if (arg == "--cancel-after") {
+        cancel_after = cli::parse_positive_int(arg, value());
+      } else if (arg == "--retries") {
+        retries = cli::parse_positive_int(arg, value());
+      } else {
+        throw Error("unknown option: " + arg + " (see --help)");
+      }
+    }
+    if (port == 0) throw Error("--port is required (see --help)");
+    if (!program_path.empty()) req.program = read_file(program_path);
+
+    if (do_ping) {
+      serve::Client client(host, port);
+      const auto t0 = std::chrono::steady_clock::now();
+      client.ping();
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      std::cout << "pong (" << ms << " ms)\n";
+      client.bye();
+      return 0;
+    }
+    if (do_stats) {
+      serve::Client client(host, port);
+      std::cout << client.stats() << "\n";
+      client.bye();
+      return 0;
+    }
+
+    serve::SimRun run;
+    for (i32 attempt = 0;; ++attempt) {
+      serve::Client client(host, port);
+      size_t streamed = 0;
+      run = client.sim(req, [&](const serve::Response&) {
+        ++streamed;
+        return cancel_after == 0 ||
+               streamed < static_cast<size_t>(cancel_after);
+      });
+      client.bye();
+      if (run.ok || run.code == serve::ErrCode::kCanceled) break;
+      if (!run.retriable || attempt >= retries) {
+        std::cerr << "vuv_client: request failed: "
+                  << serve::err_code_name(run.code) << ": " << run.error
+                  << (run.retriable ? " (retriable; see --retries)" : "")
+                  << "\n";
+        return 1;
+      }
+      const int backoff_ms = 200 * (attempt + 1);
+      std::cerr << "[vuv_client] " << serve::err_code_name(run.code)
+                << "; retrying in " << backoff_ms << " ms ("
+                << (retries - attempt) << " attempt(s) left)\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+
+    if (run.code == serve::ErrCode::kCanceled && !run.ok)
+      std::cerr << "[vuv_client] canceled after " << run.outcomes.size()
+                << " of " << run.acked_cells << " cells\n";
+    else
+      std::cerr << "[vuv_client] " << run.outcomes.size() << " cells\n";
+
+    if (program_path.empty()) {
+      // Matrix mode: the same report writers as vuv_sweep, fed with the
+      // reconstructed outcomes — byte-identical to a local run.
+      format = cli::pick_format(format, out_path);
+      const std::unique_ptr<Report> report = make_report(format, name);
+      cli::write_output(out_path, [&](std::ostream& os) {
+        report->write(os, run.outcomes);
+      });
+    } else {
+      // Program mode: cells have no registry app, so the sweep report
+      // writers (keyed on cell.app) do not apply; print the differential
+      // oracle's verdict per config instead.
+      cli::write_output(out_path, [&](std::ostream& os) {
+        for (const CellOutcome& o : run.outcomes)
+          os << o.result.config << " "
+             << (o.cell.perfect ? "perfect" : "realistic") << " "
+             << (o.result.verified ? "ok" : "FAIL") << " cycles="
+             << o.result.sim.cycles << "\n";
+      });
+    }
+
+    int failures = 0;
+    for (const CellOutcome& o : run.outcomes)
+      if (!o.result.verified) {
+        ++failures;
+        std::cerr << "[vuv_client] VERIFICATION FAILED: " << o.result.app
+                  << "/" << o.result.config << ": " << o.result.verify_error
+                  << "\n";
+      }
+    return failures ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "vuv_client: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -27,27 +27,38 @@ using namespace vuv;
 
 namespace {
 
-const char kUsage[] = R"(usage: vuv_fuzz [options]
-
-Differential fuzzing: reference interpreter vs compile+simulate.
-
-options:
-  --seeds A:B        half-open seed range to fuzz (default 0:100)
-  --variant V        scalar, musimd, vector or all (default all)
-  --atoms N          random atoms per program (default 32)
-  --mode M           realistic, perfect or both memory modes (default both)
-  --out PATH         counterexample file path (default counterex_<variant>_<seed>.vuvgen)
-  --no-shrink        write the unshrunk counterexample
-  --replay FILE      replay a .vuvgen file through the full check matrix
-  --dump-dir DIR     also write every generated program to DIR (corpus curation)
-  --lint             also run the static verifier: IR-lint every generated
-                     program (error diagnostics are fatal) and compile with
-                     strict_verify so schedule-checker findings shrink like
-                     any other divergence
-  --self-test        inject known interpreter faults; exit 0 iff both are
-                     caught and shrunk to <= 10 body ops
-  -h, --help         this text
-)";
+const cli::Usage kUsage{
+    "vuv_fuzz",
+    "Differential fuzzing: reference interpreter vs compile+simulate.",
+    "",
+    {
+        {"--seeds A:B", "half-open seed range to fuzz (default 0:100)"},
+        {"--variant V", "scalar, musimd, vector or all (default all)"},
+        {"--atoms N", "random atoms per program (default 32)"},
+        {"--mode M",
+         "realistic, perfect or both memory modes (default both)"},
+        {"--out PATH",
+         "counterexample file path (default counterex_<variant>_<seed>.vuvgen)"},
+        {"--no-shrink", "write the unshrunk counterexample"},
+        {"--replay FILE",
+         "replay a .vuvgen file through the full check matrix"},
+        {"--dump-dir DIR",
+         "also write every generated program to DIR (corpus curation)"},
+        {"--lint",
+         "also run the static verifier: IR-lint every generated\n"
+         "program (error diagnostics are fatal) and compile with\n"
+         "strict_verify so schedule-checker findings shrink like\n"
+         "any other divergence"},
+        {"--self-test",
+         "inject known interpreter faults; exit 0 iff both are\n"
+         "caught and shrunk to <= 10 body ops"},
+    },
+    {
+        "vuv_fuzz --seeds 0:500                    # all variants, both memory modes",
+        "vuv_fuzz --seeds 0:50 --variant vector    # one ISA variant",
+        "vuv_fuzz --replay counterex.vuvgen        # re-check a saved program",
+        "vuv_fuzz --dump-dir corpus --seeds 0:20   # write programs as corpus files",
+    }};
 
 /// The per-seed machine rotation: every Table-2 configuration of the
 /// variant's ISA level gets coverage across a seed range.
@@ -292,7 +303,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "-h" || arg == "--help") {
-        std::cout << kUsage;
+        std::cout << kUsage.text();
         return 0;
       } else if (arg == "--seeds") {
         const std::string v = value();

@@ -29,21 +29,31 @@ using namespace vuv;
 
 namespace {
 
-const char kUsage[] = R"(usage: vuv_lint [options]
-
-Static verification: IR lint + independent schedule/image checks.
-
-options:
-  --apps a,b,...      apps to lint (default: every registered app)
-  --variants v,...    scalar, musimd, vector (default: all three)
-  --corpus DIR        also lint every .vuvgen file in DIR (sorted order)
-  --json PATH         write the sorted diagnostics as a JSON array to PATH
-  --no-sched          IR lint only: skip compile + schedule/image checks
-  --max-print N       print at most N warning lines (default 40; errors
-                      always print; the JSON report is never truncated)
-  --list              print the lintable apps, variants and configs; exit
-  -h, --help          this text
-)";
+const cli::Usage kUsage{
+    "vuv_lint",
+    "Static verification: IR lint + independent schedule/image checks.",
+    "",
+    {
+        {"--apps a,b,...", "apps to lint (default: every registered app)"},
+        {"--variants v,...", "scalar, musimd, vector (default: all three)"},
+        {"--corpus DIR",
+         "also lint every .vuvgen file in DIR (sorted order)"},
+        {"--json PATH",
+         "write the sorted diagnostics as a JSON array to PATH"},
+        {"--no-sched",
+         "IR lint only: skip compile + schedule/image checks"},
+        {"--max-print N",
+         "print at most N warning lines (default 40; errors\n"
+         "always print; the JSON report is never truncated)"},
+        {"--list",
+         "print the lintable apps, variants and configs; exit"},
+    },
+    {
+        "vuv_lint                                  # all apps x all variants",
+        "vuv_lint --apps jpeg_enc --variants vector",
+        "vuv_lint --corpus tests/corpus            # also lint .vuvgen files",
+        "vuv_lint --json lint.json                 # machine-readable findings",
+    }};
 
 /// Table-2 configurations whose ISA level runs this code variant (paper
 /// methodology: each architecture runs the best code its ISA supports).
@@ -156,7 +166,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "-h" || arg == "--help") {
-        std::cout << kUsage;
+        std::cout << kUsage.text();
         return 0;
       } else if (arg == "--apps") {
         apps.clear();

@@ -19,26 +19,35 @@ using namespace vuv;
 
 namespace {
 
-const char kUsage[] = R"(usage: vuv_perf [options]
-
-Measure host simulator throughput (wall time, simulated cycles/second)
-over an (app x config) sweep matrix and write PERF_host.json.
-
-options:
-  --apps a,b,...       apps to run (default: the six Table-1 codecs; the
-                       committed baseline is keyed to that matrix, so the
-                       opt-in imgpipe app never skews the gate)
-  --configs a,b,...    Table-2 configuration names (default: all ten)
-  --jobs N             worker threads (default: hardware concurrency)
-  --perfect            measure the perfect-memory matrix instead
-  --out PATH           output JSON path (default: PERF_host.json; - = stdout)
-  --name NAME          bench name embedded in the JSON (default: host_perf)
-  --metrics PATH       also write the runner's host-side metrics snapshot
-                       (thread pool, compile cache) as JSON to PATH
-  --baseline PATH      compare against a committed PERF_host.json baseline
-  --max-regress X      fail if wall_seconds > baseline * X (default 2.0)
-  -h, --help           this text
-)";
+const cli::Usage kUsage{
+    "vuv_perf",
+    "Measure host simulator throughput (wall time, simulated cycles/second)\n"
+    "over an (app x config) sweep matrix and write PERF_host.json.",
+    "",
+    {
+        {"--apps a,b,...",
+         "apps to run (default: the six Table-1 codecs; the\n"
+         "committed baseline is keyed to that matrix, so the\n"
+         "opt-in imgpipe app never skews the gate)"},
+        {"--configs a,b,...", "Table-2 configuration names (default: all ten)"},
+        {"--jobs N", "worker threads (default: hardware concurrency)"},
+        {"--perfect", "measure the perfect-memory matrix instead"},
+        {"--out PATH",
+         "output JSON path (default: PERF_host.json; - = stdout)"},
+        {"--name NAME", "bench name embedded in the JSON (default: host_perf)"},
+        {"--metrics PATH",
+         "also write the runner's host-side metrics snapshot\n"
+         "(thread pool, compile cache) as JSON to PATH"},
+        {"--baseline PATH",
+         "compare against a committed PERF_host.json baseline"},
+        {"--max-regress X",
+         "fail if wall_seconds > baseline * X (default 2.0)"},
+    },
+    {
+        "vuv_perf                                   # full 60-cell matrix",
+        "vuv_perf --jobs 4 --out PERF_host.json",
+        "vuv_perf --baseline perf/baseline.json --max-regress 2.0",
+    }};
 
 }  // namespace
 
@@ -59,7 +68,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "-h" || arg == "--help") {
-        std::cout << kUsage;
+        std::cout << kUsage.text();
         return 0;
       } else if (arg == "--apps") {
         apps.clear();

@@ -22,36 +22,48 @@ using namespace vuv;
 
 namespace {
 
-const char kUsage[] = R"(usage: vuv_sweep [options]
-
-Run (app x config x memory-mode) sweeps on the parallel runner.
-
-options:
-  --apps a,b,...     apps to run (default: the six Table-1 codecs)
-                     names: jpeg_enc jpeg_dec mpeg2_enc mpeg2_dec gsm_enc
-                     gsm_dec imgpipe — imgpipe is opt-in so the default
-                     60-cell matrix (and the perf baseline keyed to it)
-                     stays stable
-  --configs a,b,...  Table-2 configuration names (default: all ten)
-                     e.g. VLIW-2w uSIMD-4w Vector1-2w Vector2-4w
-  --jobs N           worker threads (default: hardware concurrency)
-  --list             print the available apps and configurations and exit
-  --perfect          simulate with perfect memory (paper 5.1) instead of
-                     the realistic hierarchy
-  --filter SUBSTR    keep only cells whose key contains SUBSTR
-                     (key: <app>|<variant>|<config>|<p|r>)
-  --out PATH         write the report to PATH; format from the extension
-                     (.json = BENCH-style json, .csv = csv, else table)
-  --format F         override the report format: json, csv or table
-  --name NAME        bench name embedded in json reports (default: sweep)
-  --metrics PATH     also write the runner's host-side metrics snapshot
-                     (thread pool, compile cache, aggregated cache hits)
-                     as JSON to PATH (- = stdout)
-  --strict           run the static verifier inside every compile: full IR
-                     lint plus independent schedule/image re-checks; any
-                     error-severity finding fails the cell's compile
-  -h, --help         this text
-)";
+const cli::Usage kUsage{
+    "vuv_sweep",
+    "Run (app x config x memory-mode) sweeps on the parallel runner.",
+    "",
+    {
+        {"--apps a,b,...",
+         "apps to run (default: the six Table-1 codecs)\n"
+         "names: jpeg_enc jpeg_dec mpeg2_enc mpeg2_dec gsm_enc\n"
+         "gsm_dec imgpipe — imgpipe is opt-in so the default\n"
+         "60-cell matrix (and the perf baseline keyed to it)\n"
+         "stays stable"},
+        {"--configs a,b,...",
+         "Table-2 configuration names (default: all ten)\n"
+         "e.g. VLIW-2w uSIMD-4w Vector1-2w Vector2-4w"},
+        {"--jobs N", "worker threads (default: hardware concurrency)"},
+        {"--list", "print the available apps and configurations and exit"},
+        {"--perfect",
+         "simulate with perfect memory (paper 5.1) instead of\n"
+         "the realistic hierarchy"},
+        {"--filter SUBSTR",
+         "keep only cells whose key contains SUBSTR\n"
+         "(key: <app>|<variant>|<config>|<p|r>)"},
+        {"--out PATH",
+         "write the report to PATH; format from the extension\n"
+         "(.json = BENCH-style json, .csv = csv, else table)"},
+        {"--format F", "override the report format: json, csv or table"},
+        {"--name NAME", "bench name embedded in json reports (default: sweep)"},
+        {"--metrics PATH",
+         "also write the runner's host-side metrics snapshot\n"
+         "(thread pool, compile cache, aggregated cache hits)\n"
+         "as JSON to PATH (- = stdout)"},
+        {"--strict",
+         "run the static verifier inside every compile: full IR\n"
+         "lint plus independent schedule/image re-checks; any\n"
+         "error-severity finding fails the cell's compile"},
+    },
+    {
+        "vuv_sweep                                # full 6-app x Table-2 matrix",
+        "vuv_sweep --apps jpeg_enc,gsm_dec --configs Vector2-2w,VLIW-8w",
+        "vuv_sweep --jobs 8 --out sweep.csv       # format from the extension",
+        "vuv_sweep --perfect --filter mpeg2       # perfect memory, key filter",
+    }};
 
 void print_list() {
   std::cout << "apps:";
@@ -85,7 +97,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "-h" || arg == "--help") {
-        std::cout << kUsage;
+        std::cout << kUsage.text();
         return 0;
       } else if (arg == "--apps") {
         apps.clear();

@@ -22,25 +22,34 @@ using namespace vuv;
 
 namespace {
 
-const char kUsage[] = R"(usage: vuv_trace [options]
-
-Trace one simulation cell: pipeline events + stall attribution.
-
-options:
-  --app NAME        app to run (default: gsm_dec)
-                    names: jpeg_enc jpeg_dec mpeg2_enc mpeg2_dec gsm_enc
-                    gsm_dec imgpipe
-  --config NAME     Table-2 configuration (default: Vector2-4w)
-  --variant V       code variant: scalar, musimd or vector
-                    (default: the best variant the config's ISA supports)
-  --perfect         simulate with perfect memory (paper 5.1)
-  --trace PATH      write the Chrome trace_event JSON to PATH (- = stdout)
-  --profile PATH    write the stall-attribution report to PATH (- = stdout;
-                    .json extension selects JSON, anything else text).
-                    Default: text report to stdout
-  --top N           ops listed in the top-stalling-ops section (default 20)
-  -h, --help        this text
-)";
+const cli::Usage kUsage{
+    "vuv_trace",
+    "Trace one simulation cell: pipeline events + stall attribution.",
+    "",
+    {
+        {"--app NAME",
+         "app to run (default: gsm_dec)\n"
+         "names: jpeg_enc jpeg_dec mpeg2_enc mpeg2_dec gsm_enc\n"
+         "gsm_dec imgpipe"},
+        {"--config NAME", "Table-2 configuration (default: Vector2-4w)"},
+        {"--variant V",
+         "code variant: scalar, musimd or vector\n"
+         "(default: the best variant the config's ISA supports)"},
+        {"--perfect", "simulate with perfect memory (paper 5.1)"},
+        {"--trace PATH",
+         "write the Chrome trace_event JSON to PATH (- = stdout)"},
+        {"--profile PATH",
+         "write the stall-attribution report to PATH (- = stdout;\n"
+         ".json extension selects JSON, anything else text).\n"
+         "Default: text report to stdout"},
+        {"--top N",
+         "ops listed in the top-stalling-ops section (default 20)"},
+    },
+    {
+        "vuv_trace --app gsm_dec --config Vector2-4w --trace gsm.trace.json",
+        "vuv_trace --app jpeg_enc --config VLIW-8w --profile - --top 10",
+        "vuv_trace --app mpeg2_dec --config Vector1-2w --perfect --profile m.json",
+    }};
 
 Variant variant_by_name(const std::string& n) {
   if (n == "scalar") return Variant::kScalar;
@@ -65,7 +74,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (arg == "-h" || arg == "--help") {
-        std::cout << kUsage;
+        std::cout << kUsage.text();
         return 0;
       } else if (arg == "--app") {
         app_name_s = value();

@@ -72,12 +72,55 @@ add_wall_seconds() {
 serve_pid=""
 serve_dir=""
 serve_port=""
+
+# True while something is listening on 127.0.0.1:$1 (bash /dev/tcp probe —
+# no dependency on netstat/ss, which CI images may lack).
+port_in_use() {
+  (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null || return 1
+  exec 3>&- 3<&-
+  return 0
+}
+
+# Tear the daemon down on EVERY exit path — normal exit, set -e failures,
+# and signals (bash skips the EXIT trap when killed by an untrapped
+# signal, so INT/TERM/HUP are trapped explicitly below). After the kill,
+# assert the port is actually released: a daemon that survives its TERM
+# (and the KILL fallback) would poison every later CI job on this runner.
 serve_cleanup() {
+  local status=0
   if [ -n "$serve_pid" ]; then
     kill -TERM "$serve_pid" 2>/dev/null || true
+    for _ in $(seq 1 50); do
+      kill -0 "$serve_pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    if kill -0 "$serve_pid" 2>/dev/null; then
+      echo "run_benches.sh: vuv_serve (pid $serve_pid) ignored SIGTERM; sending SIGKILL" >&2
+      kill -KILL "$serve_pid" 2>/dev/null || true
+      status=1
+    fi
     wait "$serve_pid" 2>/dev/null || true
+    serve_pid=""
+    if [ -n "$serve_port" ] && port_in_use "$serve_port"; then
+      echo "run_benches.sh: port $serve_port still in use after daemon teardown" >&2
+      status=1
+    fi
   fi
   [ -n "$serve_dir" ] && rm -rf "$serve_dir"
+  serve_dir=""
+  return "$status"
+}
+# EXIT trap: preserve the script's own exit status unless teardown itself
+# failed (leaked daemon / busy port), which must fail the run.
+serve_exit_trap() {
+  local status=$?
+  serve_cleanup || status=1
+  exit "$status"
+}
+serve_on_signal() {
+  trap - INT TERM HUP EXIT
+  serve_cleanup || true
+  exit 130
 }
 if [ "$serve_mode" -eq 1 ]; then
   serve_bin="${VUV_SERVE_BIN:-./vuv_serve}"
@@ -86,7 +129,8 @@ if [ "$serve_mode" -eq 1 ]; then
     exit 1
   fi
   serve_dir="$(mktemp -d)"
-  trap serve_cleanup EXIT
+  trap serve_exit_trap EXIT
+  trap serve_on_signal INT TERM HUP
   "$serve_bin" --queue-limit 256 \
     > "$serve_dir/ready.txt" 2> "$serve_dir/serve.log" &
   serve_pid=$!

@@ -19,6 +19,10 @@
 
 namespace vuv {
 
+namespace serve {
+class ResultCache;
+}
+
 /// The completed execution of one SweepCell.
 struct CellOutcome {
   SweepCell cell;
@@ -32,11 +36,21 @@ struct CellOutcome {
 struct RunnerOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   i32 jobs = 0;
+  /// Persistent on-disk result cache directory (serve/cache.hpp): cells
+  /// whose key (cell key + compile signature) is already cached skip
+  /// compile AND simulate, returning the stored byte-identical result.
+  /// Empty disables the cache. Shared by vuv_sweep --cache-dir and
+  /// vuv_serve --cache-dir, so restarts and fleets reuse each other's
+  /// completed work.
+  std::string cache_dir;
+  /// LRU entry bound for the on-disk cache; 0 keeps the cache's default.
+  i64 cache_entries = 0;
 };
 
 class Runner {
  public:
   explicit Runner(RunnerOptions opts = {});
+  ~Runner();
 
   Runner(const Runner&) = delete;
   Runner& operator=(const Runner&) = delete;
@@ -50,6 +64,10 @@ class Runner {
   /// in-flight or finished results; bench drivers use this to overlap the
   /// whole matrix before querying it serially.
   void prefetch(const SweepSpec& spec);
+
+  /// Single-cell prefetch: enqueue without waiting (the serve layer's
+  /// fair dispatcher feeds cells through this one at a time).
+  void prefetch(const SweepCell& cell);
 
   /// Blocking single-cell query (cached). The reference stays valid for the
   /// Runner's lifetime.
@@ -65,6 +83,8 @@ class Runner {
                                              std::chrono::milliseconds timeout);
 
   CompileCache& compile_cache() { return compile_cache_; }
+  /// The persistent on-disk result cache, or nullptr when disabled.
+  serve::ResultCache* result_cache() { return result_cache_.get(); }
   i32 jobs() const { return pool_.threads(); }
 
   /// Host-side runtime metrics (pool queue/latency, compile-cache activity,
@@ -80,6 +100,7 @@ class Runner {
 
   obs::Registry metrics_;  // declared first: everything below records into it
   CompileCache compile_cache_;
+  std::unique_ptr<serve::ResultCache> result_cache_;  // null when disabled
   std::mutex mu_;
   std::map<std::string, Entry> results_;
   ThreadPool pool_;  // declared last: workers must die before the caches

@@ -1,0 +1,152 @@
+#include "serve/dispatch.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace vuv {
+namespace serve {
+
+i64 FairDispatcher::quantum(Priority p) {
+  switch (p) {
+    case Priority::kLow: return 1;
+    case Priority::kNormal: return 4;
+    case Priority::kHigh: return 16;
+  }
+  return 4;
+}
+
+FairDispatcher::FairDispatcher(Sink sink, i64 max_inflight,
+                               obs::Registry* metrics)
+    : sink_(std::move(sink)),
+      max_inflight_(max_inflight > 0 ? max_inflight : 1) {
+  VUV_CHECK(sink_ != nullptr, "FairDispatcher needs a sink");
+  if (metrics) {
+    m_cells_ = &metrics->counter("serve.dispatch.cells");
+    m_cells_by_prio_[0] = &metrics->counter("serve.dispatch.cells_low");
+    m_cells_by_prio_[1] = &metrics->counter("serve.dispatch.cells_normal");
+    m_cells_by_prio_[2] = &metrics->counter("serve.dispatch.cells_high");
+    m_inflight_ = &metrics->gauge("serve.dispatch.inflight");
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+FairDispatcher::~FairDispatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+u64 FairDispatcher::open(Priority p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 id = next_id_++;
+  flows_[id].prio = p;
+  return id;
+}
+
+void FairDispatcher::enqueue(u64 flow, const SweepSpec& spec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flows_.find(flow);
+    if (it == flows_.end()) return;
+    for (const SweepCell& cell : spec.cells) it->second.pending.push_back(cell);
+  }
+  cv_.notify_all();
+}
+
+void FairDispatcher::streamed(u64 flow) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flows_.find(flow);
+    if (it == flows_.end()) return;
+    Flow& f = it->second;
+    if (f.inflight > 0) {
+      --f.inflight;
+      --inflight_total_;
+      if (m_inflight_) m_inflight_->sub(1);
+    } else if (!f.pending.empty()) {
+      // The session streamed a cell the dispatcher never handed out (the
+      // runner was fed directly by get_for and finished first). Streamed
+      // order equals pending order, so the head is that very cell.
+      f.pending.pop_front();
+    }
+  }
+  cv_.notify_all();
+}
+
+void FairDispatcher::close(u64 flow) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flows_.find(flow);
+    if (it == flows_.end()) return;
+    inflight_total_ -= it->second.inflight;
+    if (m_inflight_) m_inflight_->sub(it->second.inflight);
+    flows_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+bool FairDispatcher::work_available() const {
+  if (inflight_total_ >= max_inflight_) return false;
+  for (const auto& [id, f] : flows_)
+    if (!f.pending.empty()) return true;
+  return false;
+}
+
+void FairDispatcher::loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || work_available(); });
+    if (stop_) return;
+
+    // One DRR round: visit every flow once, starting just past where the
+    // previous round started (so no flow is permanently first), top its
+    // deficit up by its priority quantum, and take cells while credit and
+    // window slots last. Idle flows forfeit their credit — DRR's rule
+    // that keeps a long-quiet flow from bursting later.
+    std::vector<SweepCell> batch;
+    std::vector<Priority> batch_prio;
+    std::vector<u64> order;
+    order.reserve(flows_.size());
+    for (const auto& [id, f] : flows_) order.push_back(id);
+    const auto pivot = std::lower_bound(order.begin(), order.end(), cursor_);
+    std::rotate(order.begin(),
+                pivot == order.end() ? order.begin() : pivot, order.end());
+    if (!order.empty()) cursor_ = order.front() + 1;
+    for (u64 id : order) {
+      Flow& f = flows_[id];
+      if (f.pending.empty()) {
+        f.deficit = 0;
+        continue;
+      }
+      f.deficit += quantum(f.prio);
+      while (f.deficit > 0 && !f.pending.empty() &&
+             inflight_total_ < max_inflight_) {
+        batch.push_back(std::move(f.pending.front()));
+        batch_prio.push_back(f.prio);
+        f.pending.pop_front();
+        --f.deficit;
+        ++f.inflight;
+        ++inflight_total_;
+        if (m_inflight_) m_inflight_->add(1);
+      }
+      if (f.pending.empty()) f.deficit = 0;
+      if (inflight_total_ >= max_inflight_) break;
+    }
+
+    if (batch.empty()) continue;
+    lock.unlock();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      sink_(batch[i]);
+      if (m_cells_) m_cells_->inc();
+      if (m_cells_by_prio_[static_cast<int>(batch_prio[i])])
+        m_cells_by_prio_[static_cast<int>(batch_prio[i])]->inc();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace serve
+}  // namespace vuv

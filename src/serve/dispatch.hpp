@@ -1,0 +1,106 @@
+// Priority-aware, per-client fair cell dispatch for the serve layer.
+//
+// Why this exists: the Runner's thread pool is FIFO, so before v1.1 a
+// 1000-cell batch that arrived first owned the pool until it drained — a
+// later 1-cell interactive request sat behind every one of those cells.
+// The dispatcher breaks that monopoly by feeding the pool a bounded
+// window of cells at a time (max_inflight), choosing which flow's cell
+// fills each freed slot by deficit round-robin: every flow with pending
+// cells receives a per-round quantum of slots scaled by its request's
+// Priority (high 16 : normal 4 : low 1), and unused credit does not
+// accumulate while a flow is idle. A small request therefore reaches the
+// pool after at most one window of an earlier batch, not after the whole
+// batch.
+//
+// One *flow* is one admitted matrix request (sessions execute requests
+// one at a time, so a flow is effectively a client). The session
+// enqueues the request's cells, reports each streamed cell so its window
+// slot frees, and closes the flow on completion, cancel or disconnect —
+// close() drops undispatched cells and returns any still-held slots.
+//
+// The dispatcher never executes cells itself: it calls a sink (the
+// server wires runner.prefetch) that enqueues the cell on the shared
+// Runner, where identical cells still dedup onto one execution. Dispatch
+// order therefore affects only *when* a cell starts, never its result —
+// the byte-identity contract (DESIGN.md) is untouched by scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "runner/sweep_spec.hpp"
+#include "serve/protocol.hpp"
+
+namespace vuv {
+namespace serve {
+
+class FairDispatcher {
+ public:
+  /// Called (on the dispatcher thread, no locks held) to hand one cell to
+  /// the execution layer.
+  using Sink = std::function<void(const SweepCell&)>;
+
+  /// `max_inflight` bounds dispatched-but-unstreamed cells across all
+  /// flows — the fairness window. Must be >= 1.
+  FairDispatcher(Sink sink, i64 max_inflight, obs::Registry* metrics);
+  ~FairDispatcher();  // drains nothing: stops the thread and returns
+
+  FairDispatcher(const FairDispatcher&) = delete;
+  FairDispatcher& operator=(const FairDispatcher&) = delete;
+
+  /// Register a flow. Returns its id (never reused within a dispatcher).
+  u64 open(Priority p);
+
+  /// Append the spec's cells to the flow's pending queue, in spec order.
+  void enqueue(u64 flow, const SweepSpec& spec);
+
+  /// One of the flow's cells was streamed to the client: free its window
+  /// slot. If the session outran the dispatcher (the runner finished a
+  /// cell the dispatcher had not handed over yet), the still-pending head
+  /// cell is dropped instead — it is already done and dispatching it
+  /// would leak a slot.
+  void streamed(u64 flow);
+
+  /// Flow finished/canceled/disconnected: drop pending cells, release any
+  /// held window slots. Idempotent.
+  void close(u64 flow);
+
+  /// Per-priority DRR quantum (exposed for tests).
+  static i64 quantum(Priority p);
+
+ private:
+  struct Flow {
+    Priority prio = Priority::kNormal;
+    std::deque<SweepCell> pending;
+    i64 deficit = 0;   // unused credit within the current round
+    i64 inflight = 0;  // dispatched, not yet streamed/closed
+  };
+
+  void loop();
+  bool work_available() const;  // caller holds mu_
+
+  const Sink sink_;
+  const i64 max_inflight_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<u64, Flow> flows_;
+  u64 next_id_ = 1;
+  u64 cursor_ = 0;  // flow id the next DRR round starts at (lower_bound)
+  i64 inflight_total_ = 0;
+  bool stop_ = false;
+
+  obs::Counter* m_cells_ = nullptr;
+  obs::Counter* m_cells_by_prio_[3] = {nullptr, nullptr, nullptr};
+  obs::Gauge* m_inflight_ = nullptr;
+
+  std::thread thread_;  // last: must die before the state above
+};
+
+}  // namespace serve
+}  // namespace vuv

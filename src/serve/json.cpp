@@ -201,7 +201,13 @@ class Parser {
       i64 v = 0;
       const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), v);
       if (ec == std::errc() && p == tok.end()) return Json(v);
-      // Falls through for out-of-i64-range integer literals.
+      // An integer literal outside i64 must be an error, not a silent
+      // double: every integer field in the protocol is consumed as i64,
+      // and a hostile 2^64-ish literal that degraded to a rounded double
+      // would pass is_int() checks nowhere yet corrupt any field read
+      // leniently. Fail the frame cleanly instead (-> bad_request).
+      if (ec == std::errc::result_out_of_range)
+        fail("integer out of range (must fit a signed 64-bit value)");
     }
     double d = 0.0;
     const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), d);

@@ -43,6 +43,13 @@ bool opt_bool(const Json& obj, const char* key, bool dflt) {
   return v->as_bool();
 }
 
+i64 opt_int(const Json& obj, const char* key, i64 dflt) {
+  const Json* v = obj.find(key);
+  if (!v) return dflt;
+  if (!v->is_int()) bad(std::string("field '") + key + "' must be an integer");
+  return v->as_int();
+}
+
 std::vector<std::string> opt_string_array(const Json& obj, const char* key) {
   std::vector<std::string> out;
   const Json* v = obj.find(key);
@@ -159,6 +166,11 @@ SimResult sim_from_json(const Json& j) {
   return s;
 }
 
+}  // namespace
+
+// Public (protocol.hpp): the cell-frame value encoding, shared with the
+// persistent result cache so cached and freshly simulated results are the
+// same bytes by construction.
 Json result_to_json(const AppResult& r) {
   Json::Object o;
   o["app"] = Json(r.app);
@@ -181,6 +193,8 @@ AppResult result_from_json(const Json& j) {
   return r;
 }
 
+namespace {
+
 std::string encode_cell_frame(const std::string& id, size_t seq,
                               const std::string& app, const std::string& variant,
                               const std::string& cfg_name, bool perfect,
@@ -198,6 +212,25 @@ std::string encode_cell_frame(const std::string& id, size_t seq,
 }
 
 }  // namespace
+
+// ---- priority ---------------------------------------------------------------
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
+  }
+  return "normal";
+}
+
+Priority priority_by_name(const std::string& name) {
+  for (Priority p : {Priority::kLow, Priority::kNormal, Priority::kHigh})
+    if (name == priority_name(p)) return p;
+  throw ProtocolError(ErrCode::kBadRequest,
+                      "unknown priority '" + name +
+                          "' (expected low, normal or high)");
+}
 
 // ---- error codes ------------------------------------------------------------
 
@@ -277,6 +310,10 @@ Request parse_request(const std::string& line) {
   sim.perfect = opt_bool(j, "perfect", false);
   sim.filter = opt_string(j, "filter");
   sim.program = opt_string(j, "program");
+  if (const Json* p = j.find("priority")) {
+    if (!p->is_string()) bad("field 'priority' must be a string");
+    sim.priority = priority_by_name(p->as_string());
+  }
 
   const std::vector<std::string> app_names = opt_string_array(j, "apps");
   const std::vector<std::string> cfg_names = opt_string_array(j, "configs");
@@ -318,6 +355,7 @@ std::string encode_hello() {
   Json::Object o;
   o["op"] = Json("hello");
   o["v"] = Json(static_cast<i64>(kProtocolVersion));
+  o["minor"] = Json(static_cast<i64>(kProtocolMinor));
   o["server"] = Json("vuv_serve");
   return Json(std::move(o)).dump();
 }
@@ -418,6 +456,10 @@ std::string encode_sim_request(const SimRequestNames& req) {
   if (!req.variant.empty()) o["variant"] = Json(req.variant);
   if (!req.filter.empty()) o["filter"] = Json(req.filter);
   if (!req.program.empty()) o["program"] = Json(req.program);
+  // "normal" is the wire default — omitting it keeps v1.0 servers (which
+  // would ignore the member anyway) and byte-level frame goldens happy.
+  if (!req.priority.empty() && req.priority != "normal")
+    o["priority"] = Json(req.priority);
   return Json(std::move(o)).dump();
 }
 
@@ -449,6 +491,7 @@ Response decode_response(const std::string& line) {
   if (op == "hello") {
     r.op = Response::Op::kHello;
     r.version = static_cast<int>(need_int(j, "v"));
+    r.minor = static_cast<int>(opt_int(j, "minor", 0));
     return r;
   }
   if (op == "pong") {

@@ -24,6 +24,11 @@ namespace serve {
 /// banner; see docs/PROTOCOL.md "Versioning and compatibility".
 constexpr int kProtocolVersion = 1;
 
+/// Minor revision within the major version: additive, ignorable members
+/// only (v1.1 added the `priority` request field). Carried in the hello
+/// banner as `minor`; v1.0 clients never look at it.
+constexpr int kProtocolMinor = 1;
+
 /// Hard ceiling on one frame (one line), both directions. Large enough
 /// for a multi-thousand-op .vuvgen program, small enough that a hostile
 /// client cannot make the server buffer unbounded garbage.
@@ -64,6 +69,20 @@ class ProtocolError : public Error {
   ErrCode code;
 };
 
+// ---- scheduling priority ----------------------------------------------------
+
+/// Request scheduling class (protocol v1.1). Orders cell dispatch onto the
+/// shared Runner — a higher class gets a larger deficit-round-robin
+/// quantum (serve/dispatch.hpp), it never preempts running cells and
+/// never changes any simulated result.
+enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+const char* priority_name(Priority p);
+
+/// Resolve a wire priority name. Throws ProtocolError(kBadRequest) for
+/// anything other than "low", "normal" or "high".
+Priority priority_by_name(const std::string& name);
+
 // ---- requests (client -> server) --------------------------------------------
 
 struct SimRequest {
@@ -85,6 +104,9 @@ struct SimRequest {
   /// exclusive with `apps`/`variant`/`filter`.
   std::string program;
 
+  /// Scheduling class (v1.1 `priority` member; absent = normal).
+  Priority priority = Priority::kNormal;
+
   /// The expanded spec (matrix mode). Filled by parse_request.
   SweepSpec spec;
 };
@@ -99,6 +121,19 @@ struct Request {
 /// Parse + validate one request line. Throws ProtocolError (bad JSON ->
 /// kBadRequest, unknown app/config/variant -> kUnknownName, ...).
 Request parse_request(const std::string& line);
+
+// ---- result encoding --------------------------------------------------------
+
+/// Byte-stable JSON encoding of a complete AppResult (SimResult with
+/// regions and memory statistics included). This is the value format of
+/// both `cell` frames and the persistent on-disk result cache
+/// (serve/cache.hpp): one encoder, so a cached result decodes into exactly
+/// the bytes a freshly simulated one would have produced.
+Json result_to_json(const AppResult& r);
+
+/// Inverse of result_to_json. Throws ProtocolError(kBadRequest) on
+/// missing or ill-typed fields.
+AppResult result_from_json(const Json& j);
 
 // ---- responses (server -> client) -------------------------------------------
 
@@ -152,6 +187,7 @@ struct SimRequestNames {
   std::string variant;  // empty: best for each config's ISA
   std::string filter;
   std::string program;  // raw .vuvgen text; empty = matrix mode
+  std::string priority;  // "low"/"normal"/"high"; empty = omit (normal)
 };
 
 std::string encode_sim_request(const SimRequestNames& req);
@@ -166,6 +202,7 @@ struct Response {
   enum class Op { kHello, kAck, kCell, kDone, kError, kPong, kStats };
   Op op = Op::kPong;
   int version = 0;     // kHello
+  int minor = 0;       // kHello (0 when the server predates v1.1)
   std::string id;      // ack/cell/done/error
   size_t cells = 0;    // ack/done
   size_t seq = 0;      // cell

@@ -320,13 +320,22 @@ class Server::Session {
   }
 
   /// Matrix mode: stream the spec's cells in spec order, each as soon as
-  /// it (and its predecessors) finished on the shared Runner. The Runner
-  /// is where cross-client batching happens: identical cells dedup onto
-  /// one result, identical programs onto one compile.
+  /// it (and its predecessors) finished on the shared Runner. The cells
+  /// reach the Runner's pool through the server's FairDispatcher — a
+  /// priority-weighted, per-client deficit-round-robin window — so a huge
+  /// batch from one client cannot starve a later small request. The
+  /// Runner is where cross-client batching happens: identical cells dedup
+  /// onto one result, identical programs onto one compile.
   void run_matrix(PendingSim& job) {
     const SweepSpec& spec = job.req.spec;
     i64 budget = static_cast<i64>(spec.size());
-    srv_.runner_.prefetch(spec);
+    const u64 flow = srv_.dispatcher_.open(job.req.priority);
+    struct FlowCloser {
+      FairDispatcher& d;
+      u64 id;
+      ~FlowCloser() { d.close(id); }
+    } closer{srv_.dispatcher_, flow};
+    srv_.dispatcher_.enqueue(flow, spec);
     for (size_t i = 0; i < spec.cells.size(); ++i) {
       std::shared_ptr<const CellOutcome> outcome;
       while (true) {
@@ -356,6 +365,7 @@ class Server::Session {
         srv_.release(budget);
         return;
       }
+      srv_.dispatcher_.streamed(flow);
       --budget;
       srv_.release(1);
       c_cells_.fetch_add(1);
@@ -462,8 +472,26 @@ class Server::Session {
 
 // ---- Server -----------------------------------------------------------------
 
+namespace {
+
+RunnerOptions runner_options(const ServerOptions& o) {
+  RunnerOptions r;
+  r.jobs = o.jobs;
+  r.cache_dir = o.cache_dir;
+  r.cache_entries = o.cache_entries;
+  return r;
+}
+
+}  // namespace
+
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)), runner_(RunnerOptions{opts_.jobs}) {
+    : opts_(std::move(opts)),
+      runner_(runner_options(opts_)),
+      dispatcher_([this](const SweepCell& cell) { runner_.prefetch(cell); },
+                  opts_.max_inflight_cells > 0
+                      ? opts_.max_inflight_cells
+                      : static_cast<i64>(runner_.jobs()) * 2,
+                  &runner_.metrics()) {
   if (opts_.strict) runner_.compile_cache().set_strict_verify(true);
   obs::Registry& m = runner_.metrics();
   m_connections_ = &m.gauge("serve.connections");

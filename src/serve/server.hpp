@@ -6,13 +6,18 @@
 //
 // Concurrency model — threads, not an event loop. One accept thread; per
 // connection a *reader* thread (parses frames, answers control requests,
-// admits sim requests) and a *streamer* thread (executes admitted sim
-// requests FIFO, emitting `cell` frames in spec order as cells finish).
-// Cross-client parallelism and compile deduplication come from the shared
-// Runner underneath — the serve layer adds session state, flow control
-// and wire formatting, never its own simulation path, which is why
-// server-mediated results are byte-identical to direct Runner output
-// (DESIGN.md "Serving and batching").
+// admits sim requests) and a *streamer* thread (executes the connection's
+// admitted sim requests in order, emitting `cell` frames in spec order as
+// cells finish). *Across* connections, matrix cells reach the Runner's
+// pool through the shared FairDispatcher (serve/dispatch.hpp): per-client
+// deficit round-robin over a bounded in-flight window, weighted by the
+// request's v1.1 `priority`, so one huge batch cannot monopolize the pool
+// against a later interactive request. Cross-client parallelism and
+// compile/result deduplication come from the shared Runner underneath —
+// the serve layer adds session state, scheduling, flow control and wire
+// formatting, never its own simulation path, which is why server-mediated
+// results are byte-identical to direct Runner output (DESIGN.md "Serving
+// and batching").
 //
 // Backpressure: admission is counted in *cells* (the unit of work the
 // pool schedules). A sim request whose cell count would push the total
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "runner/runner.hpp"
+#include "serve/dispatch.hpp"
 #include "serve/protocol.hpp"
 
 namespace vuv {
@@ -54,6 +60,15 @@ struct ServerOptions {
   int idle_timeout_ms = 0;
   /// Run the static verifier inside every compile (vuv_sweep --strict).
   bool strict = false;
+  /// Persistent on-disk result cache directory (serve/cache.hpp); empty
+  /// disables it. Restarted daemons pointed at the same directory serve
+  /// previously computed cells without compiling or simulating.
+  std::string cache_dir;
+  /// LRU entry bound for the on-disk cache; 0 keeps the cache's default.
+  i64 cache_entries = 0;
+  /// Fairness window: bound on dispatched-but-unstreamed cells across all
+  /// clients (serve/dispatch.hpp). 0 = twice the worker count.
+  i64 max_inflight_cells = 0;
 };
 
 class Server {
@@ -85,6 +100,7 @@ class Server {
   int port() const { return port_; }
 
   Runner& runner() { return runner_; }
+  FairDispatcher& dispatcher() { return dispatcher_; }
   obs::Registry& metrics() { return runner_.metrics(); }
 
  private:
@@ -103,6 +119,7 @@ class Server {
 
   ServerOptions opts_;
   Runner runner_;
+  FairDispatcher dispatcher_;  // after runner_: sinks into it
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

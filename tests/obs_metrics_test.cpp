@@ -133,7 +133,9 @@ TEST(Metrics, ThreadPoolInstrumentsItself) {
 }
 
 TEST(Metrics, RunnerAggregatesSimAndCacheCounters) {
-  Runner runner(RunnerOptions{.jobs = 2});
+  RunnerOptions ropts;
+  ropts.jobs = 2;
+  Runner runner(ropts);
   const SweepSpec spec = SweepSpec::matrix(
       {App::kGsmDec}, {MachineConfig::vliw(2)}, {false, true});
   const std::vector<CellOutcome> outcomes = runner.run(spec);

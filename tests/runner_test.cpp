@@ -48,8 +48,11 @@ TEST(SweepSpec, MatrixOrderAndFilter) {
 TEST(Runner, ParallelMatchesSerialByteForByte) {
   const SweepSpec spec = test_spec();
 
-  Runner serial(RunnerOptions{.jobs = 1});
-  Runner parallel(RunnerOptions{.jobs = 8});
+  RunnerOptions serial_opts, parallel_opts;
+  serial_opts.jobs = 1;
+  parallel_opts.jobs = 8;
+  Runner serial(serial_opts);
+  Runner parallel(parallel_opts);
   const std::vector<CellOutcome> a = serial.run(spec);
   const std::vector<CellOutcome> b = parallel.run(spec);
 
@@ -83,7 +86,9 @@ TEST(Runner, ParallelMatchesSerialByteForByte) {
 
 TEST(Runner, CompileCacheCompilesEachProgramOnce) {
   const SweepSpec spec = test_spec();
-  Runner runner(RunnerOptions{.jobs = 8});
+  RunnerOptions ropts;
+  ropts.jobs = 8;
+  Runner runner(ropts);
   runner.run(spec);
 
   // 2 apps x 3 configs, shared across the two memory modes: 6 compiles,
@@ -102,7 +107,9 @@ TEST(Runner, CompileCacheCompilesEachProgramOnce) {
 }
 
 TEST(Runner, GetIsCachedAndStable) {
-  Runner runner(RunnerOptions{.jobs = 2});
+  RunnerOptions ropts;
+  ropts.jobs = 2;
+  Runner runner(ropts);
   const MachineConfig cfg = MachineConfig::musimd(2);
   const AppResult& first = runner.get(App::kGsmDec, cfg, false);
   const AppResult& second = runner.get(App::kGsmDec, cfg, false);
@@ -116,7 +123,9 @@ TEST(Runner, GetIsCachedAndStable) {
 
 TEST(Runner, PrefetchThenRunUsesCachedResults) {
   const SweepSpec spec = test_spec().filtered("gsm_dec");
-  Runner runner(RunnerOptions{.jobs = 4});
+  RunnerOptions ropts;
+  ropts.jobs = 4;
+  Runner runner(ropts);
   runner.prefetch(spec);
   const std::vector<CellOutcome> outcomes = runner.run(spec);
   ASSERT_EQ(outcomes.size(), spec.size());

@@ -86,7 +86,9 @@ TEST_F(ServeLoopback, FullMatrixIsByteIdenticalToDirectRunner) {
   // Spec order is apps x configs x {r,p}; the served halves are grouped by
   // memory mode, so compare through the report writers after resorting the
   // direct outcomes the same way.
-  Runner direct(RunnerOptions{.jobs = 2});
+  RunnerOptions direct_opts;
+  direct_opts.jobs = 2;
+  Runner direct(direct_opts);
   std::vector<CellOutcome> local = direct.run(spec);
   std::stable_sort(local.begin(), local.end(),
                    [](const CellOutcome& a, const CellOutcome& b) {

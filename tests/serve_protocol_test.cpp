@@ -48,6 +48,23 @@ TEST(ServeJson, RejectsMalformedInput) {
   EXPECT_THROW(Json::parse(deep), JsonError);
 }
 
+TEST(ServeJson, RejectsIntegersOutsideI64) {
+  // An integer literal that does not fit i64 must fail the parse cleanly
+  // (it must NOT degrade to a rounded double that then leaks through
+  // lenient integer field reads). 2^63-1 is the last representable value.
+  EXPECT_EQ(Json::parse("9223372036854775807").as_int(),
+            9223372036854775807LL);
+  EXPECT_THROW(Json::parse("9223372036854775808"), JsonError);
+  EXPECT_THROW(Json::parse("92233720368547758080"), JsonError);
+  EXPECT_THROW(Json::parse("-92233720368547758080"), JsonError);
+  EXPECT_THROW(Json::parse(R"({"cells":18446744073709551616})"), JsonError);
+  // Explicit doubles keep their full range: a decimal point or exponent
+  // opts into floating-point semantics.
+  EXPECT_DOUBLE_EQ(Json::parse("92233720368547758080.0").as_double(),
+                   92233720368547758080.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e300").as_double(), 1e300);
+}
+
 TEST(ServeJson, EscapesStrings) {
   Json s;
   s = Json(std::string("a\"b\\c\n\t\x01"));
@@ -144,6 +161,62 @@ TEST(ServeProtocol, RejectsMalformedRequests) {
   // A filter that empties the spec is a caller bug, reported as such.
   EXPECT_EQ(code_of(R"({"op":"sim","id":"m","filter":"no-such-cell"})"),
             ErrCode::kBadRequest);
+  // A hostile frame carrying an out-of-i64 integer dies at the JSON layer
+  // with the stable bad_request code — never an uncaught exception.
+  EXPECT_EQ(code_of(R"({"op":"sim","id":"m","cells":92233720368547758080})"),
+            ErrCode::kBadRequest);
+}
+
+// ---- v1.1: scheduling priority ----------------------------------------------
+
+TEST(ServeProtocol, PriorityNamesAreStableAndRoundTrip) {
+  EXPECT_STREQ(priority_name(Priority::kLow), "low");
+  EXPECT_STREQ(priority_name(Priority::kNormal), "normal");
+  EXPECT_STREQ(priority_name(Priority::kHigh), "high");
+  for (Priority p : {Priority::kLow, Priority::kNormal, Priority::kHigh})
+    EXPECT_EQ(priority_by_name(priority_name(p)), p);
+  EXPECT_THROW(priority_by_name("urgent"), ProtocolError);
+  EXPECT_THROW(priority_by_name(""), ProtocolError);
+}
+
+TEST(ServeProtocol, SimRequestPriorityDefaultsToNormal) {
+  EXPECT_EQ(parse_request(R"({"op":"sim","id":"m"})").sim.priority,
+            Priority::kNormal);
+  EXPECT_EQ(
+      parse_request(R"({"op":"sim","id":"m","priority":"high"})").sim.priority,
+      Priority::kHigh);
+  EXPECT_EQ(
+      parse_request(R"({"op":"sim","id":"m","priority":"low"})").sim.priority,
+      Priority::kLow);
+  EXPECT_EQ(code_of(R"({"op":"sim","id":"m","priority":"urgent"})"),
+            ErrCode::kBadRequest);
+  EXPECT_EQ(code_of(R"({"op":"sim","id":"m","priority":3})"),
+            ErrCode::kBadRequest);
+}
+
+TEST(ServeProtocol, SimRequestEncoderOmitsTheDefaultPriority) {
+  // Backward compatibility with v1.0 servers: a normal-priority request
+  // is encoded exactly as a v1.0 client would have sent it.
+  SimRequestNames names;
+  names.id = "p";
+  EXPECT_EQ(encode_sim_request(names).find("priority"), std::string::npos);
+  names.priority = "normal";
+  EXPECT_EQ(encode_sim_request(names).find("priority"), std::string::npos);
+  names.priority = "high";
+  const std::string line = encode_sim_request(names);
+  EXPECT_NE(line.find(R"("priority":"high")"), std::string::npos);
+  EXPECT_EQ(parse_request(line).sim.priority, Priority::kHigh);
+}
+
+TEST(ServeProtocol, HelloCarriesTheMinorRevision) {
+  const Response hello = decode_response(encode_hello());
+  EXPECT_EQ(hello.version, kProtocolVersion);
+  EXPECT_EQ(hello.minor, kProtocolMinor);
+  // A v1.0 hello has no `minor` member; it decodes as minor 0.
+  const Response old =
+      decode_response(R"({"op":"hello","server":"vuv_serve","v":1})");
+  EXPECT_EQ(old.op, Response::Op::kHello);
+  EXPECT_EQ(old.minor, 0);
 }
 
 // ---- response encode/decode round-trips ------------------------------------
@@ -174,7 +247,9 @@ TEST(ServeProtocol, HelloAckDoneErrorRoundTrip) {
 
 TEST(ServeProtocol, CellRoundTripPreservesTheFullResult) {
   // A real cell, so every SimResult field is exercised with live values.
-  Runner runner(RunnerOptions{.jobs = 1});
+  RunnerOptions ropts;
+  ropts.jobs = 1;
+  Runner runner(ropts);
   const SweepSpec spec = SweepSpec::matrix(
       {App::kGsmDec}, {MachineConfig::vector2(4)}, {false});
   const std::vector<CellOutcome> direct = runner.run(spec);

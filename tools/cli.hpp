@@ -106,6 +106,22 @@ inline i32 parse_positive_int(const std::string& flag, const std::string& v) {
   return static_cast<i32>(n);
 }
 
+/// Parse a strictly positive floating-point option value. Same contract
+/// as parse_positive_int: non-numeric input, trailing junk ("2.0x"),
+/// overflow, zero, negatives and non-finite values all fail with the
+/// usage error — never an uncaught std::invalid_argument out of main.
+inline double parse_positive_double(const std::string& flag,
+                                    const std::string& v) {
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE ||
+      !(d > 0) || d > 1e12)
+    throw Error("invalid value for " + flag + ": '" + v +
+                "' (expected a positive number)");
+  return d;
+}
+
 /// Output format implied by --format/--out: an explicit `format` wins;
 /// otherwise the output path's extension decides (.json -> json,
 /// .csv -> csv), falling back to `dflt` (stdout default: a table).

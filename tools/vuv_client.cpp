@@ -39,6 +39,10 @@ const cli::Usage kUsage{
         {"--configs a,b,...",
          "Table-2 configuration names (default: all ten)"},
         {"--perfect", "request the perfect-memory matrix (paper 5.1)"},
+        {"--priority P",
+         "scheduling class: low, normal or high (default\n"
+         "normal; protocol v1.1) — weights the server's\n"
+         "per-client fair dispatch, never changes results"},
         {"--variant V", "force one code variant: scalar, musimd or vector"},
         {"--filter SUBSTR", "server-side cell-key substring filter"},
         {"--program FILE",
@@ -105,6 +109,10 @@ int main(int argc, char** argv) {
         req.configs = cli::split_csv(value());
       } else if (arg == "--perfect") {
         req.perfect = true;
+      } else if (arg == "--priority") {
+        // Validate locally so a typo fails with usage text, not a server
+        // round-trip ending in bad_request.
+        req.priority = serve::priority_name(serve::priority_by_name(value()));
       } else if (arg == "--variant") {
         req.variant = value();
       } else if (arg == "--filter") {

@@ -91,13 +91,7 @@ int main(int argc, char** argv) {
       } else if (arg == "--baseline") {
         baseline = value();
       } else if (arg == "--max-regress") {
-        try {
-          size_t len = 0;
-          max_regress = std::stod(value(), &len);
-          if (len == 0 || max_regress <= 0) throw std::invalid_argument("");
-        } catch (const std::exception&) {
-          throw Error("invalid value for --max-regress (expected a positive number)");
-        }
+        max_regress = cli::parse_positive_double(arg, value());
       } else {
         throw Error("unknown option: " + arg + " (see --help)");
       }

@@ -49,6 +49,19 @@ const cli::Usage kUsage{
         {"--idle-timeout MS",
          "disconnect clients idle (no frames, no queued work)\n"
          "for MS milliseconds; 0 = never (default 0)"},
+        {"--inflight N",
+         "fairness window: cells dispatched to the pool but not\n"
+         "yet streamed, across all clients; small = snappier\n"
+         "interactive requests next to big batches (default:\n"
+         "2x the worker count)"},
+        {"--cache-dir PATH",
+         "persistent on-disk result cache: completed cells are\n"
+         "stored under PATH (created if missing) and served on\n"
+         "restart without compiling or simulating, byte-identical\n"
+         "to a fresh run; safe to share between daemons"},
+        {"--cache-entries N",
+         "LRU bound on cached entries in --cache-dir\n"
+         "(default 65536)"},
         {"--strict",
          "run the static verifier inside every compile (same\n"
          "gate as vuv_sweep --strict)"},
@@ -103,6 +116,12 @@ int main(int argc, char** argv) {
         opts.max_queued_cells = cli::parse_positive_int(arg, value());
       } else if (arg == "--idle-timeout") {
         opts.idle_timeout_ms = cli::parse_positive_int(arg, value());
+      } else if (arg == "--inflight") {
+        opts.max_inflight_cells = cli::parse_positive_int(arg, value());
+      } else if (arg == "--cache-dir") {
+        opts.cache_dir = value();
+      } else if (arg == "--cache-entries") {
+        opts.cache_entries = cli::parse_positive_int(arg, value());
       } else if (arg == "--strict") {
         opts.strict = true;
       } else if (arg == "--metrics") {
@@ -126,6 +145,8 @@ int main(int argc, char** argv) {
               << server.port() << " (" << server.runner().jobs()
               << " worker(s), queue limit " << opts.max_queued_cells
               << " cells)\n";
+    if (!opts.cache_dir.empty())
+      std::cerr << "[vuv_serve] result cache: " << opts.cache_dir << "\n";
 
     server.wait();  // until request_stop() via signal or fatal accept error
     server.stop();

@@ -17,6 +17,7 @@
 #include "common/table.hpp"
 #include "runner/report.hpp"
 #include "runner/runner.hpp"
+#include "serve/cache.hpp"
 
 using namespace vuv;
 
@@ -37,6 +38,14 @@ const cli::Usage kUsage{
          "Table-2 configuration names (default: all ten)\n"
          "e.g. VLIW-2w uSIMD-4w Vector1-2w Vector2-4w"},
         {"--jobs N", "worker threads (default: hardware concurrency)"},
+        {"--cache-dir PATH",
+         "persistent on-disk result cache: cells already cached\n"
+         "under PATH skip compile and simulate and report byte-\n"
+         "identically; fresh cells are stored for later runs\n"
+         "(shared with vuv_serve --cache-dir)"},
+        {"--cache-entries N",
+         "LRU bound on cached entries in --cache-dir\n"
+         "(default 65536)"},
         {"--list", "print the available apps and configurations and exit"},
         {"--perfect",
          "simulate with perfect memory (paper 5.1) instead of\n"
@@ -109,6 +118,10 @@ int main(int argc, char** argv) {
           cfgs.push_back(MachineConfig::table2_by_name(n));
       } else if (arg == "--jobs") {
         opts.jobs = cli::parse_positive_int(arg, value());
+      } else if (arg == "--cache-dir") {
+        opts.cache_dir = value();
+      } else if (arg == "--cache-entries") {
+        opts.cache_entries = cli::parse_positive_int(arg, value());
       } else if (arg == "--list") {
         print_list();
         return 0;
@@ -158,6 +171,14 @@ int main(int argc, char** argv) {
     std::cerr << "[vuv_sweep] " << outcomes.size() << " cells in "
               << TextTable::num(wall_s) << "s; compile cache: " << cs.misses
               << " compiled, " << cs.hits << " reused\n";
+    if (serve::ResultCache* rc = runner.result_cache()) {
+      const serve::ResultCache::Stats rs = rc->stats();
+      std::cerr << "[vuv_sweep] result cache: " << rs.hits << " hit(s), "
+                << rs.misses << " miss(es)";
+      if (rs.corrupt) std::cerr << ", " << rs.corrupt << " corrupt";
+      if (rs.evicted) std::cerr << ", " << rs.evicted << " evicted";
+      std::cerr << "\n";
+    }
 
     int failures = 0;
     for (const CellOutcome& o : outcomes)

@@ -1,0 +1,52 @@
+# Host-SIMD kernel detection for src/sim/kernels/.
+#
+# The kernel layer is runtime-dispatched: every specialized TU is compiled
+# whenever the toolchain can target it, and dispatch.cpp decides at process
+# start (CPU probe + VUV_SIMD override) which table to use. This module only
+# answers "can the compiler build the TU" — never "does the build machine
+# support it" — so cross-compiled binaries carry every kernel the target
+# architecture might have.
+#
+# vuv_configure_simd_kernels(<target>)
+#   - probes -mavx2 (x86) and NEON (ARM) with check_cxx_source_compiles
+#   - sets per-source COMPILE_OPTIONS so only the specialized TU gets the
+#     ISA flag (the rest of the build stays at the baseline ISA, the
+#     per-file-flag idiom used by runtime-dispatched media encoders)
+#   - defines VUV_KERNELS_AVX2 / VUV_KERNELS_NEON on the target
+
+include(CheckCXXSourceCompiles)
+
+function(vuv_configure_simd_kernels target)
+  set(CMAKE_REQUIRED_FLAGS "-mavx2")
+  check_cxx_source_compiles("
+    #include <immintrin.h>
+    int main() {
+      __m256i v = _mm256_setzero_si256();
+      return _mm256_extract_epi32(_mm256_add_epi8(v, v), 0);
+    }" VUV_HAVE_AVX2_COMPILER)
+  set(CMAKE_REQUIRED_FLAGS "")
+  check_cxx_source_compiles("
+    #include <arm_neon.h>
+    int main() {
+      uint8x16_t v = vdupq_n_u8(0);
+      return (int)vgetq_lane_u8(vaddq_u8(v, v), 0);
+    }" VUV_HAVE_NEON_COMPILER)
+
+  set(enabled "")
+  if(VUV_HAVE_AVX2_COMPILER)
+    set_source_files_properties(
+      ${CMAKE_CURRENT_SOURCE_DIR}/src/sim/kernels/avx2.cpp
+      PROPERTIES COMPILE_OPTIONS "-mavx2")
+    target_compile_definitions(${target} PRIVATE VUV_KERNELS_AVX2=1)
+    list(APPEND enabled avx2)
+  endif()
+  if(VUV_HAVE_NEON_COMPILER)
+    target_compile_definitions(${target} PRIVATE VUV_KERNELS_NEON=1)
+    list(APPEND enabled neon)
+  endif()
+  if(enabled)
+    message(STATUS "vuv SIMD kernels: scalar + ${enabled} (runtime-dispatched)")
+  else()
+    message(STATUS "vuv SIMD kernels: scalar only")
+  endif()
+endfunction()

@@ -20,6 +20,36 @@ void CompileCache::set_metrics(obs::Registry* metrics) {
   m_build_us_ = &metrics->histogram("compile_cache.build_us");
 }
 
+std::shared_ptr<const CompileCache::BuiltUnit> CompileCache::built_unit(
+    App app, Variant variant, const std::string& unit) {
+  std::promise<std::shared_ptr<const BuiltUnit>> promise;
+  BuiltEntry entry;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = built_.find(unit);
+    if (it != built_.end()) {
+      entry = it->second;
+    } else {
+      entry = promise.get_future().share();
+      built_.emplace(unit, entry);
+      owner = true;
+    }
+  }
+  if (owner) {
+    try {
+      BuiltApp built = build_app(app, variant);
+      auto bu = std::make_shared<BuiltUnit>();
+      bu->program = std::move(built.program);
+      bu->mem_extent = built.ws->used();
+      promise.set_value(std::move(bu));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return entry.get();
+}
+
 std::shared_ptr<const CompiledProgram> CompileCache::get(
     App app, Variant variant, const MachineConfig& cfg) {
   std::string key = app_name(app);
@@ -57,16 +87,17 @@ std::shared_ptr<const CompiledProgram> CompileCache::get(
       // simulations supply their own memory mode via the Cpu override.
       MachineConfig compile_cfg = cfg;
       compile_cfg.mem.perfect = false;
-      BuiltApp built = build_app(app, variant);
+      const std::shared_ptr<const BuiltUnit> built =
+          built_unit(app, variant, unit);
       auto cp = std::make_shared<CompiledProgram>();
       const bool strict = strict_verify_.load(std::memory_order_relaxed);
       CompileOptions copts;
       if (strict) {
         copts.strict_verify = true;
-        copts.mem_extent = built.ws->used();
+        copts.mem_extent = built->mem_extent;
         copts.unit = unit;
       }
-      cp->sp = compile(std::move(built.program), compile_cfg, copts);
+      cp->sp = compile(Program(built->program), compile_cfg, copts);
       cp->image = lower_image(cp->sp, compile_cfg);
       if (strict) {
         const lint::DiagReport rep =

@@ -64,8 +64,21 @@ class CompileCache {
  private:
   using Entry = std::shared_future<std::shared_ptr<const CompiledProgram>>;
 
+  // build_app(app, variant) is config-independent, so the built program is
+  // cached once per "app|variant" unit and copied into each per-config
+  // compile instead of being rebuilt for every signature.
+  struct BuiltUnit {
+    Program program;
+    i64 mem_extent = 0;  // workspace bytes used, for strict verification
+  };
+  using BuiltEntry = std::shared_future<std::shared_ptr<const BuiltUnit>>;
+
+  std::shared_ptr<const BuiltUnit> built_unit(App app, Variant variant,
+                                              const std::string& unit);
+
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
+  std::map<std::string, BuiltEntry> built_;
   Stats stats_;
   std::atomic<bool> strict_verify_{false};
 

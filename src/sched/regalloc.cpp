@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -161,20 +160,38 @@ RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg) {
       successors[b].push_back(t->target_block);
   }
 
+  std::vector<std::vector<i32>> predecessors(nblocks);
+  for (i32 b = 0; b < nblocks; ++b)
+    for (i32 s : successors[b]) predecessors[s].push_back(b);
+
+  // Worklist form of the backward sweep: a block is only re-evaluated when
+  // some successor's live-in grew. The fixpoint is unique, so this computes
+  // exactly the sets the repeated full sweeps did. Blocks marked during a
+  // pass at a position not yet visited (p < b, forward edges) are picked up
+  // in the same pass; back edges force another one.
+  std::vector<u8> pending(static_cast<size_t>(nblocks), 1);
   RegBits out, in;
   out.resize_for(ndense);
   in.resize_for(ndense);
-  bool changed = true;
-  while (changed) {
-    changed = false;
+  bool again = true;
+  while (again) {
+    again = false;
     for (i32 b = nblocks - 1; b >= 0; --b) {
+      if (!pending[static_cast<size_t>(b)]) continue;
+      pending[static_cast<size_t>(b)] = 0;
       out.resize_for(ndense);  // zero
       for (i32 s : successors[b]) out.or_with(live_in[s]);
       in.assign_union_minus(use[b], out, def[b]);
-      if (!(out == live_out[b]) || !(in == live_in[b])) {
+      const bool in_changed = !(in == live_in[b]);
+      if (!(out == live_out[b]) || in_changed) {
         std::swap(live_out[b], out);
         std::swap(live_in[b], in);
-        changed = true;
+        if (in_changed)
+          for (i32 p : predecessors[b])
+            if (!pending[static_cast<size_t>(p)]) {
+              pending[static_cast<size_t>(p)] = 1;
+              if (p >= b) again = true;
+            }
       }
     }
   }
@@ -234,8 +251,26 @@ RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg) {
   // most-recently-freed register (LIFO) would create dense false WAR/WAW
   // dependencies that serialize wide-issue schedules — the large register
   // files of Table 2 exist precisely to avoid that.
+  //
+  // The active set is a binary min-heap on (end, insertion seq) — the seq
+  // tie-break reproduces the insertion-order iteration of the multimap it
+  // replaced (equal end positions expire FIFO), so the free-list order and
+  // therefore every physical assignment is unchanged; the heap just drops
+  // the per-node allocations, which dominated the scan on large programs.
+  struct ActiveReg {
+    i64 end;
+    i64 seq;
+    i32 phys;
+    bool operator>(const ActiveReg& o) const {
+      return end > o.end || (end == o.end && seq > o.seq);
+    }
+  };
   std::array<std::deque<i32>, 6> free_regs;
-  std::array<std::multimap<i64, i32>, 6> active;  // end -> phys
+  std::array<std::vector<ActiveReg>, 6> active;  // min-heaps
+  const auto heap_cmp = [](const ActiveReg& a, const ActiveReg& b) {
+    return a > b;  // std::*_heap are max-heaps; invert for a min-heap
+  };
+  i64 seq = 0;
 
   for (int c = 0; c < 6; ++c) {
     const i32 n = file_size(static_cast<RegClass>(c));
@@ -246,9 +281,10 @@ RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg) {
     const int c = static_cast<int>(iv.reg.cls);
     // Expire intervals that ended strictly before this start.
     auto& act = active[c];
-    while (!act.empty() && act.begin()->first < iv.start) {
-      free_regs[c].push_back(act.begin()->second);
-      act.erase(act.begin());
+    while (!act.empty() && act.front().end < iv.start) {
+      free_regs[c].push_back(act.front().phys);
+      std::pop_heap(act.begin(), act.end(), heap_cmp);
+      act.pop_back();
     }
     if (free_regs[c].empty()) {
       throw CompileError(
@@ -257,7 +293,8 @@ RegAllocStats allocate_registers(Program& prog, const MachineConfig& cfg) {
     }
     const i32 p = free_regs[c].front();
     free_regs[c].pop_front();
-    act.emplace(iv.end, p);
+    act.push_back(ActiveReg{iv.end, seq++, p});
+    std::push_heap(act.begin(), act.end(), heap_cmp);
     phys[static_cast<size_t>(vr.index(iv.reg))] = p;
     stats.peak[c] = std::max(stats.peak[c], static_cast<i32>(act.size()));
   }

@@ -1,5 +1,4 @@
 #include <algorithm>
-#include <map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -34,15 +33,36 @@ struct VlAnalysis {
     a.entry_vl[prog.entry] = kUnknownVl;
     a.entry_vs[prog.entry] = kUnknownVl;
 
-    auto transfer = [](const BasicBlock& blk, i32 in, bool vl) {
+    // Per-block transfer summaries and successor edges, computed once: a
+    // block's effect on VL/VS is fully described by its last setvl/setvs
+    // (kPass = no such op), so the fixpoint sweeps need not rescan ops.
+    constexpr i32 kPass = -3;
+    std::vector<i32> xfer_vl(static_cast<size_t>(n), kPass);
+    std::vector<i32> xfer_vs(static_cast<size_t>(n), kPass);
+    std::vector<std::array<i32, 2>> succs(static_cast<size_t>(n),
+                                          {{-1, -1}});
+    for (i32 b = 0; b < n; ++b) {
+      const BasicBlock& blk = prog.blocks[b];
       for (const Operation& op : blk.ops) {
-        if (vl && op.op == Opcode::SETVLI) in = static_cast<i32>(op.imm);
-        if (vl && op.op == Opcode::SETVL) in = kUnknownVl;
-        if (!vl && op.op == Opcode::SETVSI) in = static_cast<i32>(op.imm);
-        if (!vl && op.op == Opcode::SETVS) in = kUnknownVl;
+        if (op.op == Opcode::SETVLI)
+          xfer_vl[static_cast<size_t>(b)] = static_cast<i32>(op.imm);
+        if (op.op == Opcode::SETVL)
+          xfer_vl[static_cast<size_t>(b)] = kUnknownVl;
+        if (op.op == Opcode::SETVSI)
+          xfer_vs[static_cast<size_t>(b)] = static_cast<i32>(op.imm);
+        if (op.op == Opcode::SETVS)
+          xfer_vs[static_cast<size_t>(b)] = kUnknownVl;
       }
-      return in;
-    };
+      int ns = 0;
+      if (blk.fallthrough >= 0)
+        succs[static_cast<size_t>(b)][static_cast<size_t>(ns++)] =
+            blk.fallthrough;
+      if (const Operation* t = blk.terminator();
+          t && (t->info().flags.branch || t->info().flags.jump))
+        succs[static_cast<size_t>(b)][static_cast<size_t>(ns++)] =
+            t->target_block;
+    }
+
     auto meet = [](i32 a_, i32 b_) {
       if (a_ == kTop) return b_;
       if (b_ == kTop) return a_;
@@ -54,15 +74,12 @@ struct VlAnalysis {
       changed = false;
       for (i32 b = 0; b < n; ++b) {
         if (a.entry_vl[b] == kTop) continue;
-        const BasicBlock& blk = prog.blocks[b];
-        const i32 out_vl = transfer(blk, a.entry_vl[b], true);
-        const i32 out_vs = transfer(blk, a.entry_vs[b], false);
-        std::vector<i32> succs;
-        if (blk.fallthrough >= 0) succs.push_back(blk.fallthrough);
-        if (const Operation* t = blk.terminator();
-            t && (t->info().flags.branch || t->info().flags.jump))
-          succs.push_back(t->target_block);
-        for (i32 s : succs) {
+        const i32 xvl = xfer_vl[static_cast<size_t>(b)];
+        const i32 xvs = xfer_vs[static_cast<size_t>(b)];
+        const i32 out_vl = (xvl == kPass) ? a.entry_vl[b] : xvl;
+        const i32 out_vs = (xvs == kPass) ? a.entry_vs[b] : xvs;
+        for (i32 s : succs[static_cast<size_t>(b)]) {
+          if (s < 0) continue;
           const i32 nvl = meet(a.entry_vl[s], out_vl);
           const i32 nvs = meet(a.entry_vs[s], out_vs);
           if (nvl != a.entry_vl[s] || nvs != a.entry_vs[s]) {
@@ -77,8 +94,13 @@ struct VlAnalysis {
   }
 };
 
+/// One dependence edge in the pooled successor lists (see SchedScratch):
+/// `next` chains edges sharing a source op, newest first. Iteration order
+/// over a node's successors is immaterial — every consumer folds them
+/// through max / counting operations.
 struct Edge {
   i32 to;
+  i32 next;
   Cycle lat;
 };
 
@@ -124,7 +146,15 @@ class SchedScratch {
       dirty_[static_cast<size_t>(r)] = 0;
     }
     touched_.clear();
-    mem_ops.clear();
+    wildcard_store = -1;
+    for (const i32 g : store_groups)
+      last_store_by_group[static_cast<size_t>(g)] = -1;
+    store_groups.clear();
+    for (const i32 g : load_groups) {
+      pending_loads[static_cast<size_t>(g)].clear();
+      load_group_live[static_cast<size_t>(g)] = 0;
+    }
+    load_groups.clear();
   }
 
   i32 last_def(i32 r) const { return last_def_[static_cast<size_t>(r)]; }
@@ -142,7 +172,31 @@ class SchedScratch {
     readers_[static_cast<size_t>(r)].clear();
   }
 
-  std::vector<i32> mem_ops;  // indices of memory ops seen so far
+  // ---- memory-dependence tracking ----------------------------------------
+  // Per-alias-group nearest-store / pending-load state, replacing the
+  // all-pairs scan over every memory op in the block (quadratic in memory
+  // ops, and by far the largest compile cost on the MediaBench-sized
+  // blocks). Group 0 may alias everything; when disambiguation is off,
+  // every access is treated as group 0. Grown lazily to the largest group
+  // id seen; reset() undoes only the entries a block touched.
+  i32 wildcard_store = -1;                     // last group-0 store
+  std::vector<i32> last_store_by_group;        // -1 = none this block
+  std::vector<std::vector<i32>> pending_loads; // loads awaiting a WAR edge
+  std::vector<u8> load_group_live;             // group present in load_groups
+  std::vector<i32> store_groups, load_groups;  // touched groups (for reset)
+
+  void ensure_mem_group(i32 g) {
+    if (static_cast<size_t>(g) >= pending_loads.size()) {
+      last_store_by_group.resize(static_cast<size_t>(g) + 1, -1);
+      pending_loads.resize(static_cast<size_t>(g) + 1);
+      load_group_live.resize(static_cast<size_t>(g) + 1, 0);
+    }
+  }
+
+  // Successor-edge arena, reused across blocks so per-block edge building
+  // costs no allocations once the pool has grown to the largest block.
+  std::vector<Edge> edge_pool;
+  std::vector<i32> edge_head;  // per op; -1 = no successors
 
  private:
   void touch(i32 r) {
@@ -222,13 +276,18 @@ class BlockScheduler {
  private:
   void add_edge(i32 from, i32 to, Cycle lat) {
     if (from == to) return;
-    succ_[from].push_back({to, std::max<Cycle>(lat, 0)});
+    auto& pool = scratch_.edge_pool;
+    auto& head = scratch_.edge_head;
+    pool.push_back(Edge{to, head[static_cast<size_t>(from)],
+                        std::max<Cycle>(lat, 0)});
+    head[static_cast<size_t>(from)] = static_cast<i32>(pool.size()) - 1;
     ++pred_count_[to];
   }
 
   void build_edges() {
     const i32 n = static_cast<i32>(blk_.ops.size());
-    succ_.assign(n, {});
+    scratch_.edge_pool.clear();
+    scratch_.edge_head.assign(static_cast<size_t>(n), -1);
     pred_count_.assign(n, 0);
     term_ = -1;
     scratch_.reset();
@@ -284,23 +343,88 @@ class BlockScheduler {
         scratch_.set_def(fw, j);
       }
 
-      // Memory dependences.
+      // Memory dependences. Semantically this is "an edge from every
+      // earlier may-aliasing access (store→load RAW at 1 + tlr(i),
+      // store→store WAW likewise, load→store WAR at tlr(i) + 1 - lat)";
+      // materializing that all-pairs set is quadratic in the block's
+      // memory ops. Instead only the *nearest* constraints are emitted;
+      // every elided edge is dominated by a retained path — the schedule
+      // (and every priority) is provably identical:
+      //   - store→store edges chain: each hop costs max(1, 1 + tlr) and
+      //     the first hop out of i already carries the full direct
+      //     latency 1 + tlr(i), so older aliasing stores reach j late
+      //     enough through the chain. The same chain covers store→load
+      //     edges from any store older than the nearest one.
+      //   - a pending load l is dropped once some aliasing store S has
+      //     taken its WAR edge *and* the path l→S→(store chain)→j beats
+      //     the strongest possible direct WAR edge to a future store j:
+      //       tlr(S) + 1 + max(0, tlr(l) + 1 - lat(S)) >= tlr(l)
+      //     (future stores have latency >= 1, so tlr(l) bounds the
+      //     direct latency). Scalar stores always satisfy this; a VST
+      //     with a short ramp may not, in which case l simply stays
+      //     pending and later stores still get their direct edges.
+      //   - a store that only aliases its own group can never stand in
+      //     for future stores of *other* groups, so wildcard (group-0)
+      //     pending loads are only dropped by wildcard stores.
       if (info.flags.mem_load || info.flags.mem_store) {
-        for (i32 i : scratch_.mem_ops) {
-          const OpInfo& pi = blk_.ops[i].info();
-          const bool both_loads = pi.flags.mem_load && info.flags.mem_load;
-          if (both_loads) continue;
-          if (may_alias(blk_.ops[i], op)) {
-            Cycle lat;
-            if (pi.flags.mem_store) {
-              lat = 1 + tlr(i);  // store data committed as elements issue
-            } else {
-              lat = tlr(i) + 1 - info.latency;  // WAR on memory
+        const i32 g = (cfg_.mem_disambiguation)
+                          ? static_cast<i32>(op.alias_group)
+                          : 0;
+        scratch_.ensure_mem_group(g);
+        // Nearest aliasing store(s): the RAW sources of a load and the
+        // WAW sources of a store are the same set.
+        if (g != 0) {
+          const i32 s = std::max(
+              scratch_.last_store_by_group[static_cast<size_t>(g)],
+              scratch_.wildcard_store);
+          if (s >= 0) add_edge(s, j, 1 + tlr(s));
+        } else {
+          if (scratch_.wildcard_store >= 0)
+            add_edge(scratch_.wildcard_store, j,
+                     1 + tlr(scratch_.wildcard_store));
+          for (const i32 h : scratch_.store_groups)
+            if (const i32 s =
+                    scratch_.last_store_by_group[static_cast<size_t>(h)];
+                s >= 0)
+              add_edge(s, j, 1 + tlr(s));
+        }
+        if (info.flags.mem_load) {
+          if (!scratch_.load_group_live[static_cast<size_t>(g)]) {
+            scratch_.load_group_live[static_cast<size_t>(g)] = 1;
+            scratch_.load_groups.push_back(g);
+          }
+          scratch_.pending_loads[static_cast<size_t>(g)].push_back(j);
+        } else {
+          // WAR edges from pending aliasing loads.
+          const auto war = [&](std::vector<i32>& pl, bool can_drop) {
+            size_t keep = 0;
+            for (const i32 l : pl) {
+              add_edge(l, j, tlr(l) + 1 - info.latency);
+              const Cycle hop =
+                  std::max<Cycle>(tlr(l) + 1 - info.latency, 0);
+              const bool dominated = tlr(j) + 1 + hop >= tlr(l);
+              if (!(can_drop && dominated)) pl[keep++] = l;
             }
-            add_edge(i, j, lat);
+            pl.resize(keep);
+          };
+          if (g != 0) {
+            war(scratch_.pending_loads[static_cast<size_t>(g)], true);
+            war(scratch_.pending_loads[0], false);
+          } else {
+            for (const i32 h : scratch_.load_groups)
+              war(scratch_.pending_loads[static_cast<size_t>(h)], true);
+          }
+          if (g == 0) {
+            scratch_.wildcard_store = j;
+            for (const i32 h : scratch_.store_groups)
+              scratch_.last_store_by_group[static_cast<size_t>(h)] = -1;
+            scratch_.store_groups.clear();
+          } else {
+            if (scratch_.last_store_by_group[static_cast<size_t>(g)] < 0)
+              scratch_.store_groups.push_back(g);
+            scratch_.last_store_by_group[static_cast<size_t>(g)] = j;
           }
         }
-        scratch_.mem_ops.push_back(j);
       }
 
       // Everything precedes the terminator (it must sit in the last word).
@@ -314,18 +438,16 @@ class BlockScheduler {
     }
   }
 
-  bool may_alias(const Operation& a, const Operation& b) const {
-    if (!cfg_.mem_disambiguation) return true;
-    if (a.alias_group == 0 || b.alias_group == 0) return true;
-    return a.alias_group == b.alias_group;
-  }
-
   void compute_priorities() {
     const i32 n = static_cast<i32>(blk_.ops.size());
     prio_.assign(n, 0);
     for (i32 i = n - 1; i >= 0; --i) {
       Cycle p = occupancy(i);
-      for (const Edge& e : succ_[i]) p = std::max(p, e.lat + prio_[e.to]);
+      for (i32 ei = scratch_.edge_head[static_cast<size_t>(i)]; ei >= 0;
+           ei = scratch_.edge_pool[static_cast<size_t>(ei)].next) {
+        const Edge& e = scratch_.edge_pool[static_cast<size_t>(ei)];
+        p = std::max(p, e.lat + prio_[e.to]);
+      }
       if (term_ >= 0 && i < term_) p = std::max(p, prio_[term_]);
       prio_[i] = p;
     }
@@ -419,7 +541,9 @@ class BlockScheduler {
         word.push_back(i);
         --slots;
         --remaining;
-        for (const Edge& e : succ_[i]) {
+        for (i32 ei = scratch_.edge_head[static_cast<size_t>(i)]; ei >= 0;
+             ei = scratch_.edge_pool[static_cast<size_t>(ei)].next) {
+          const Edge& e = scratch_.edge_pool[static_cast<size_t>(ei)];
           earliest[e.to] = std::max(earliest[e.to], t + e.lat);
           release(e.to);
         }
@@ -464,7 +588,6 @@ class BlockScheduler {
   SchedScratch& scratch_;
   std::vector<i32> vl_, vs_;  // scheduler-visible VL/VS at each op
   std::vector<Cycle> tlr_, tlw_, occ_;
-  std::vector<std::vector<Edge>> succ_;
   std::vector<i32> pred_count_;
   std::vector<Cycle> prio_;
   i32 term_ = -1;  // terminator op (implicit 0-latency successor of all)

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -168,9 +169,17 @@ std::optional<AppResult> ResultCache::load(const std::string& key) {
     return std::nullopt;
   }
 
-  // Refresh recency so the LRU sweep preserves hot entries.
+  // Refresh recency so the LRU sweep preserves hot entries. Monotone: the
+  // stamp never moves backwards, even when the entry's mtime is ahead of
+  // this process's clock (writer skew on a shared directory) — and always
+  // advances by at least a second past the old stamp, so the refresh is
+  // visible on coarse-mtime filesystems where now() would truncate back
+  // onto the batch the entry was stored with.
   std::error_code ec;
-  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  const auto cur = fs::last_write_time(path, ec);
+  auto stamp = fs::file_time_type::clock::now();
+  if (!ec) stamp = std::max(stamp, cur + std::chrono::seconds(1));
+  fs::last_write_time(path, stamp, ec);
 
   hits_.fetch_add(1);
   if (m_hits_) m_hits_->inc();
@@ -233,7 +242,14 @@ void ResultCache::sweep_locked() {
   if (opts_.max_entries <= 0 ||
       static_cast<i64>(files.size()) <= opts_.max_entries)
     return;
-  std::sort(files.begin(), files.end());
+  // Oldest first; equal mtimes (coarse filesystem timestamps stamp whole
+  // store batches identically) tie-break on the path so the victim set is
+  // a pure function of the directory contents — two daemons sweeping the
+  // same state agree on what goes.
+  std::sort(files.begin(), files.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.native() < b.second.native();
+  });
   const size_t doomed = files.size() - static_cast<size_t>(opts_.max_entries);
   for (size_t i = 0; i < doomed; ++i) {
     std::error_code rec;

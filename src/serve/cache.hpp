@@ -19,7 +19,11 @@
 //     can lose work, never invent it, and never fails a sweep.
 //   - The entry count is bounded: stores past max_entries trigger an LRU
 //     sweep (hits refresh an entry's mtime) that deletes the oldest
-//     entries down to the bound.
+//     entries down to the bound. Eviction order is deterministic — ties
+//     on mtime break on the entry path — and the hit refresh is monotone
+//     (never earlier than the entry's current stamp), so touching an
+//     entry always moves it away from the eviction front even under
+//     coarse filesystem timestamps or writer clock skew.
 //
 // Thread safety: load/store are safe from any number of threads and
 // processes; the only internal lock serializes the occasional LRU sweep.

@@ -2,258 +2,14 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "sim/kernels/packed_ref.hpp"
 
 namespace vuv {
 
-namespace {
-
-u64 packed_binary(Opcode op, u64 a, u64 b) {
-  switch (op) {
-    case Opcode::M_PADDB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return wrap(static_cast<i64>(get_lane(x, l, 8) + get_lane(y, l, 8)), 8);
-      });
-    case Opcode::M_PADDH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(static_cast<i64>(get_lane(x, l, 16) + get_lane(y, l, 16)), 16);
-      });
-    case Opcode::M_PADDW:
-      return map_lanes(a, b, 32, [](int l, u64 x, u64 y) {
-        return wrap(static_cast<i64>(get_lane(x, l, 32) + get_lane(y, l, 32)), 32);
-      });
-    case Opcode::M_PADDSB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return wrap(sat_signed(get_lane_signed(x, l, 8) + get_lane_signed(y, l, 8), 8), 8);
-      });
-    case Opcode::M_PADDSH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(sat_signed(get_lane_signed(x, l, 16) + get_lane_signed(y, l, 16), 16), 16);
-      });
-    case Opcode::M_PADDUSB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return wrap(sat_unsigned(static_cast<i64>(get_lane(x, l, 8) + get_lane(y, l, 8)), 8), 8);
-      });
-    case Opcode::M_PADDUSH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(sat_unsigned(static_cast<i64>(get_lane(x, l, 16) + get_lane(y, l, 16)), 16), 16);
-      });
-    case Opcode::M_PSUBB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return wrap(static_cast<i64>(get_lane(x, l, 8)) - static_cast<i64>(get_lane(y, l, 8)), 8);
-      });
-    case Opcode::M_PSUBH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(static_cast<i64>(get_lane(x, l, 16)) - static_cast<i64>(get_lane(y, l, 16)), 16);
-      });
-    case Opcode::M_PSUBW:
-      return map_lanes(a, b, 32, [](int l, u64 x, u64 y) {
-        return wrap(static_cast<i64>(get_lane(x, l, 32)) - static_cast<i64>(get_lane(y, l, 32)), 32);
-      });
-    case Opcode::M_PSUBSB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return wrap(sat_signed(get_lane_signed(x, l, 8) - get_lane_signed(y, l, 8), 8), 8);
-      });
-    case Opcode::M_PSUBSH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(sat_signed(get_lane_signed(x, l, 16) - get_lane_signed(y, l, 16), 16), 16);
-      });
-    case Opcode::M_PSUBUSB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return wrap(sat_unsigned(static_cast<i64>(get_lane(x, l, 8)) - static_cast<i64>(get_lane(y, l, 8)), 8), 8);
-      });
-    case Opcode::M_PSUBUSH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(sat_unsigned(static_cast<i64>(get_lane(x, l, 16)) - static_cast<i64>(get_lane(y, l, 16)), 16), 16);
-      });
-    case Opcode::M_PMULLH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(get_lane_signed(x, l, 16) * get_lane_signed(y, l, 16), 16);
-      });
-    case Opcode::M_PMULHH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap((get_lane_signed(x, l, 16) * get_lane_signed(y, l, 16)) >> 16, 16);
-      });
-    case Opcode::M_PMULHUH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(static_cast<i64>((get_lane(x, l, 16) * get_lane(y, l, 16)) >> 16), 16);
-      });
-    case Opcode::M_PMADDH: {
-      u64 out = 0;
-      for (int k = 0; k < 2; ++k) {
-        const i64 p0 = get_lane_signed(a, 2 * k, 16) * get_lane_signed(b, 2 * k, 16);
-        const i64 p1 = get_lane_signed(a, 2 * k + 1, 16) * get_lane_signed(b, 2 * k + 1, 16);
-        out = set_lane(out, k, 32, wrap(p0 + p1, 32));
-      }
-      return out;
-    }
-    case Opcode::M_PAVGB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return (get_lane(x, l, 8) + get_lane(y, l, 8) + 1) >> 1;
-      });
-    case Opcode::M_PAVGH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return (get_lane(x, l, 16) + get_lane(y, l, 16) + 1) >> 1;
-      });
-    case Opcode::M_PMINUB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return std::min(get_lane(x, l, 8), get_lane(y, l, 8));
-      });
-    case Opcode::M_PMAXUB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return std::max(get_lane(x, l, 8), get_lane(y, l, 8));
-      });
-    case Opcode::M_PMINSH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(std::min(get_lane_signed(x, l, 16), get_lane_signed(y, l, 16)), 16);
-      });
-    case Opcode::M_PMAXSH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return wrap(std::max(get_lane_signed(x, l, 16), get_lane_signed(y, l, 16)), 16);
-      });
-    case Opcode::M_PSADBW:
-      return sad_bytes(a, b);
-    case Opcode::M_PACKSSHB: {
-      u64 out = 0;
-      for (int l = 0; l < 4; ++l)
-        out = set_lane(out, l, 8, wrap(sat_signed(get_lane_signed(a, l, 16), 8), 8));
-      for (int l = 0; l < 4; ++l)
-        out = set_lane(out, l + 4, 8, wrap(sat_signed(get_lane_signed(b, l, 16), 8), 8));
-      return out;
-    }
-    case Opcode::M_PACKUSHB: {
-      u64 out = 0;
-      for (int l = 0; l < 4; ++l)
-        out = set_lane(out, l, 8, static_cast<u64>(sat_unsigned(get_lane_signed(a, l, 16), 8)));
-      for (int l = 0; l < 4; ++l)
-        out = set_lane(out, l + 4, 8, static_cast<u64>(sat_unsigned(get_lane_signed(b, l, 16), 8)));
-      return out;
-    }
-    case Opcode::M_PACKSSWH: {
-      u64 out = 0;
-      for (int l = 0; l < 2; ++l)
-        out = set_lane(out, l, 16, wrap(sat_signed(get_lane_signed(a, l, 32), 16), 16));
-      for (int l = 0; l < 2; ++l)
-        out = set_lane(out, l + 2, 16, wrap(sat_signed(get_lane_signed(b, l, 32), 16), 16));
-      return out;
-    }
-    case Opcode::M_PUNPCKLBH: {
-      u64 out = 0;
-      for (int l = 0; l < 4; ++l) {
-        out = set_lane(out, 2 * l, 8, get_lane(a, l, 8));
-        out = set_lane(out, 2 * l + 1, 8, get_lane(b, l, 8));
-      }
-      return out;
-    }
-    case Opcode::M_PUNPCKHBH: {
-      u64 out = 0;
-      for (int l = 0; l < 4; ++l) {
-        out = set_lane(out, 2 * l, 8, get_lane(a, l + 4, 8));
-        out = set_lane(out, 2 * l + 1, 8, get_lane(b, l + 4, 8));
-      }
-      return out;
-    }
-    case Opcode::M_PUNPCKLHW: {
-      u64 out = 0;
-      for (int l = 0; l < 2; ++l) {
-        out = set_lane(out, 2 * l, 16, get_lane(a, l, 16));
-        out = set_lane(out, 2 * l + 1, 16, get_lane(b, l, 16));
-      }
-      return out;
-    }
-    case Opcode::M_PUNPCKHHW: {
-      u64 out = 0;
-      for (int l = 0; l < 2; ++l) {
-        out = set_lane(out, 2 * l, 16, get_lane(a, l + 2, 16));
-        out = set_lane(out, 2 * l + 1, 16, get_lane(b, l + 2, 16));
-      }
-      return out;
-    }
-    case Opcode::M_PUNPCKLWD:
-      return set_lane(set_lane(0, 0, 32, get_lane(a, 0, 32)), 1, 32, get_lane(b, 0, 32));
-    case Opcode::M_PUNPCKHWD:
-      return set_lane(set_lane(0, 0, 32, get_lane(a, 1, 32)), 1, 32, get_lane(b, 1, 32));
-    case Opcode::M_PAND:
-      return a & b;
-    case Opcode::M_POR:
-      return a | b;
-    case Opcode::M_PXOR:
-      return a ^ b;
-    case Opcode::M_PANDN:
-      return ~a & b;
-    case Opcode::M_PCMPEQB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return get_lane(x, l, 8) == get_lane(y, l, 8) ? 0xffu : 0u;
-      });
-    case Opcode::M_PCMPEQH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return get_lane(x, l, 16) == get_lane(y, l, 16) ? 0xffffu : 0u;
-      });
-    case Opcode::M_PCMPGTB:
-      return map_lanes(a, b, 8, [](int l, u64 x, u64 y) {
-        return get_lane_signed(x, l, 8) > get_lane_signed(y, l, 8) ? 0xffu : 0u;
-      });
-    case Opcode::M_PCMPGTH:
-      return map_lanes(a, b, 16, [](int l, u64 x, u64 y) {
-        return get_lane_signed(x, l, 16) > get_lane_signed(y, l, 16) ? 0xffffu : 0u;
-      });
-    default:
-      throw InternalError("packed_binary: unhandled op");
-  }
-}
-
-u64 packed_shift(Opcode op, u64 a, i64 imm) {
-  const int sh = static_cast<int>(imm);
-  switch (op) {
-    case Opcode::M_PSLLH:
-      return map_lanes(a, 0, 16, [sh](int l, u64 x, u64) {
-        return sh >= 16 ? 0 : wrap(static_cast<i64>(get_lane(x, l, 16) << sh), 16);
-      });
-    case Opcode::M_PSRLH:
-      return map_lanes(a, 0, 16, [sh](int l, u64 x, u64) {
-        return sh >= 16 ? 0 : get_lane(x, l, 16) >> sh;
-      });
-    case Opcode::M_PSRAH:
-      return map_lanes(a, 0, 16, [sh](int l, u64 x, u64) {
-        return wrap(get_lane_signed(x, l, 16) >> std::min(sh, 15), 16);
-      });
-    case Opcode::M_PSLLW:
-      return map_lanes(a, 0, 32, [sh](int l, u64 x, u64) {
-        return sh >= 32 ? 0 : wrap(static_cast<i64>(get_lane(x, l, 32) << sh), 32);
-      });
-    case Opcode::M_PSRLW:
-      return map_lanes(a, 0, 32, [sh](int l, u64 x, u64) {
-        return sh >= 32 ? 0 : get_lane(x, l, 32) >> sh;
-      });
-    case Opcode::M_PSRAW:
-      return map_lanes(a, 0, 32, [sh](int l, u64 x, u64) {
-        return wrap(get_lane_signed(x, l, 32) >> std::min(sh, 31), 32);
-      });
-    case Opcode::M_PSLLD:
-      return sh >= 64 ? 0 : a << sh;
-    case Opcode::M_PSRLD:
-      return sh >= 64 ? 0 : a >> sh;
-    case Opcode::M_PSHUFH: {
-      u64 out = 0;
-      for (int l = 0; l < 4; ++l)
-        out = set_lane(out, l, 16, get_lane(a, (imm >> (2 * l)) & 3, 16));
-      return out;
-    }
-    default:
-      throw InternalError("packed_shift: unhandled op");
-  }
-}
-
-/// Sign-preserving 48-bit wrap for accumulator lanes (192-bit accumulator =
-/// 8 x 24-bit byte lanes or 4 x 48-bit halfword lanes; we model both in
-/// 48-bit host lanes).
-i64 acc_wrap(i64 v) { return (v << 16) >> 16; }
-
-}  // namespace
-
 u64 packed_eval(Opcode m_op, u64 a, u64 b, i64 imm) {
   const OpInfo& info = op_info(m_op);
-  if (info.flags.has_imm || m_op == Opcode::M_PSHUFH) return packed_shift(m_op, a, imm);
-  return packed_binary(m_op, a, b);
+  if (info.flags.has_imm || m_op == Opcode::M_PSHUFH) return packed_shift_ref(m_op, a, imm);
+  return packed_binary_ref(m_op, a, b);
 }
 
 ExecInfo execute_decoded(const DecodedOp& d, const CpuState& st,
@@ -286,24 +42,24 @@ ExecInfo execute_decoded(const DecodedOp& d, const CpuState& st,
     case ExecKind::kPacked:
       wb.dst = d.dst;
       wb.scalar = d.packed_shift
-                      ? packed_shift(d.op, sv(0), d.imm)
-                      : packed_binary(d.op, sv(0), d.nsrc > 1 ? sv(1) : 0);
+                      ? packed_shift_ref(d.op, sv(0), d.imm)
+                      : packed_binary_ref(d.op, sv(0), d.nsrc > 1 ? sv(1) : 0);
       return info;
 
     // ---- packed vector ---------------------------------------------------
     case ExecKind::kVecPacked: {
       wb.dst = d.dst;
       const VecValue& a = vv(0);
+      // Prebound host kernels (lower_op). Kernels may over-compute whole
+      // 4-element chunks into lanes past VL; operands are always full
+      // VecValues, and the zeroing loop below re-establishes the
+      // architectural lanes-past-VL-are-zero writeback either way.
       if (d.packed_shift) {
-        for (i32 e = 0; e < vl; ++e)
-          wb.vec[static_cast<size_t>(e)] =
-              packed_shift(d.vbase, a[static_cast<size_t>(e)], d.imm);
+        d.kern_shift(wb.vec.data(), a.data(), d.imm, vl);
       } else {
         static const VecValue kZero{};
         const VecValue& b = d.nsrc > 1 ? vv(1) : kZero;
-        for (i32 e = 0; e < vl; ++e)
-          wb.vec[static_cast<size_t>(e)] = packed_binary(
-              d.vbase, a[static_cast<size_t>(e)], b[static_cast<size_t>(e)]);
+        d.kern_bin(wb.vec.data(), a.data(), b.data(), vl);
       }
       // Lanes past VL are architecturally zero (the fresh-writeback
       // semantics the interpretive simulator had).
@@ -386,32 +142,11 @@ ExecInfo execute_decoded(const DecodedOp& d, const CpuState& st,
     case ExecKind::kHalt: info.halted = true; return info;
 
     // ---- vector accumulators ---------------------------------------------
-    case ExecKind::kVsadacc: {
-      wb.dst = d.dst;
-      wb.acc = av(2);
-      const VecValue& a = vv(0);
-      const VecValue& b = vv(1);
-      for (i32 e = 0; e < vl; ++e)
-        for (int l = 0; l < 8; ++l) {
-          const i64 x = static_cast<i64>(get_lane(a[static_cast<size_t>(e)], l, 8));
-          const i64 y = static_cast<i64>(get_lane(b[static_cast<size_t>(e)], l, 8));
-          wb.acc[static_cast<size_t>(l)] =
-              acc_wrap(wb.acc[static_cast<size_t>(l)] + (x > y ? x - y : y - x));
-        }
-      info.vl = vl;
-      return info;
-    }
+    case ExecKind::kVsadacc:
     case ExecKind::kVmach: {
       wb.dst = d.dst;
       wb.acc = av(2);
-      const VecValue& a = vv(0);
-      const VecValue& b = vv(1);
-      for (i32 e = 0; e < vl; ++e)
-        for (int l = 0; l < 4; ++l) {
-          const i64 x = get_lane_signed(a[static_cast<size_t>(e)], l, 16);
-          const i64 y = get_lane_signed(b[static_cast<size_t>(e)], l, 16);
-          wb.acc[static_cast<size_t>(l)] = acc_wrap(wb.acc[static_cast<size_t>(l)] + x * y);
-        }
+      d.kern_acc(wb.acc.data(), vv(0).data(), vv(1).data(), vl);
       info.vl = vl;
       return info;
     }

@@ -26,6 +26,7 @@
 #pragma once
 
 #include "sched/schedule.hpp"
+#include "sim/kernels/kernels.hpp"
 
 namespace vuv {
 
@@ -68,6 +69,12 @@ struct DecodedOp {
   Reg dst;                     // invalid when the op writes no register
   i64 imm = 0;
   i32 target_block = -1;
+
+  // ---- prebound host-SIMD kernels (simd::active_table() at lowering time;
+  // value semantics are dispatch-level-invariant, see kernels.hpp) --------
+  simd::BinKernel kern_bin = nullptr;     // kVecPacked, binary form
+  simd::ShiftKernel kern_shift = nullptr; // kVecPacked, shift/shuffle form
+  simd::AccKernel kern_acc = nullptr;     // kVsadacc / kVmach
 
   // ---- issue timing -------------------------------------------------------
   u8 fu = 0;                   // FuClass the op occupies (0 = none)

@@ -1,0 +1,225 @@
+// AVX2 kernel level: 256-bit host vectors process four 64-bit simulated
+// words per step. This TU is compiled with -mavx2 (see cmake/SimdKernels.cmake)
+// and only ever entered after dispatch.cpp confirmed AVX2 at runtime.
+//
+// Binary/shift kernels follow the over-compute contract from kernels.hpp:
+// they step in chunks of 4 and may read/write lanes past vl (never past
+// index 15); the caller re-zeroes dst lanes >= vl. Accumulator kernels
+// process full chunks vectorized and finish the tail scalar, then wrap
+// once — valid because acc_wrap is sign-extension of the low 48 bits, so
+// wrapping after the sum equals wrapping every step.
+//
+// Every mapping below is checked bit-for-bit against the scalar level by
+// tests/simd_parity_test.cpp.
+#include "sim/kernels/kernels.hpp"
+
+#if defined(VUV_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include "sim/kernels/packed_ref.hpp"
+
+namespace vuv::simd {
+
+namespace {
+
+inline __m256i load4(const u64* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline void store4(u64* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+// After _mm256_pack{s,us}_epi{16,32}(va, vb) the per-128-bit-lane dword
+// order is [pack(a[e]), pack(a[e+1]), pack(b[e]), pack(b[e+1])]; the
+// simulated op wants [pack(a[e]) | pack(b[e]) << 32] per element, i.e.
+// dword order [0, 2, 1, 3].
+inline __m256i fix_pack(__m256i packed) {
+  return _mm256_shuffle_epi32(packed, _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+#define VUV_BIN(NAME, EXPR)                                       \
+  void k_##NAME(u64* dst, const u64* a, const u64* b, i32 vl) {   \
+    for (i32 e = 0; e < vl; e += 4) {                             \
+      const __m256i va = load4(a + e);                            \
+      const __m256i vb = load4(b + e);                            \
+      store4(dst + e, (EXPR));                                    \
+    }                                                             \
+  }
+
+#define VUV_SHIFT(NAME, EXPR)                                     \
+  void k_##NAME(u64* dst, const u64* a, i64 imm, i32 vl) {        \
+    const __m128i cnt = _mm_cvtsi64_si128(imm);                   \
+    for (i32 e = 0; e < vl; e += 4) {                             \
+      const __m256i va = load4(a + e);                            \
+      store4(dst + e, (EXPR));                                    \
+    }                                                             \
+  }
+
+VUV_BIN(PADDB, _mm256_add_epi8(va, vb))
+VUV_BIN(PADDH, _mm256_add_epi16(va, vb))
+VUV_BIN(PADDW, _mm256_add_epi32(va, vb))
+VUV_BIN(PADDSB, _mm256_adds_epi8(va, vb))
+VUV_BIN(PADDSH, _mm256_adds_epi16(va, vb))
+VUV_BIN(PADDUSB, _mm256_adds_epu8(va, vb))
+VUV_BIN(PADDUSH, _mm256_adds_epu16(va, vb))
+VUV_BIN(PSUBB, _mm256_sub_epi8(va, vb))
+VUV_BIN(PSUBH, _mm256_sub_epi16(va, vb))
+VUV_BIN(PSUBW, _mm256_sub_epi32(va, vb))
+VUV_BIN(PSUBSB, _mm256_subs_epi8(va, vb))
+VUV_BIN(PSUBSH, _mm256_subs_epi16(va, vb))
+VUV_BIN(PSUBUSB, _mm256_subs_epu8(va, vb))
+VUV_BIN(PSUBUSH, _mm256_subs_epu16(va, vb))
+VUV_BIN(PMULLH, _mm256_mullo_epi16(va, vb))
+VUV_BIN(PMULHH, _mm256_mulhi_epi16(va, vb))
+VUV_BIN(PMULHUH, _mm256_mulhi_epu16(va, vb))
+VUV_BIN(PMADDH, _mm256_madd_epi16(va, vb))
+VUV_BIN(PAVGB, _mm256_avg_epu8(va, vb))
+VUV_BIN(PAVGH, _mm256_avg_epu16(va, vb))
+VUV_BIN(PMINUB, _mm256_min_epu8(va, vb))
+VUV_BIN(PMAXUB, _mm256_max_epu8(va, vb))
+VUV_BIN(PMINSH, _mm256_min_epi16(va, vb))
+VUV_BIN(PMAXSH, _mm256_max_epi16(va, vb))
+VUV_BIN(PSADBW, _mm256_sad_epu8(va, vb))
+VUV_BIN(PACKSSHB, fix_pack(_mm256_packs_epi16(va, vb)))
+VUV_BIN(PACKUSHB, fix_pack(_mm256_packus_epi16(va, vb)))
+VUV_BIN(PACKSSWH, fix_pack(_mm256_packs_epi32(va, vb)))
+// unpack(lo_half) of elements [e, e+1] lands in the low/high 64 bits of
+// _mm256_unpack{lo,hi}_epiN's per-lane result; the epi64 unpack recombines
+// them back into element order.
+VUV_BIN(PUNPCKLBH,
+        _mm256_unpacklo_epi64(_mm256_unpacklo_epi8(va, vb), _mm256_unpackhi_epi8(va, vb)))
+VUV_BIN(PUNPCKHBH,
+        _mm256_unpackhi_epi64(_mm256_unpacklo_epi8(va, vb), _mm256_unpackhi_epi8(va, vb)))
+VUV_BIN(PUNPCKLHW,
+        _mm256_unpacklo_epi64(_mm256_unpacklo_epi16(va, vb), _mm256_unpackhi_epi16(va, vb)))
+VUV_BIN(PUNPCKHHW,
+        _mm256_unpackhi_epi64(_mm256_unpacklo_epi16(va, vb), _mm256_unpackhi_epi16(va, vb)))
+VUV_BIN(PUNPCKLWD,
+        _mm256_unpacklo_epi64(_mm256_unpacklo_epi32(va, vb), _mm256_unpackhi_epi32(va, vb)))
+VUV_BIN(PUNPCKHWD,
+        _mm256_unpackhi_epi64(_mm256_unpacklo_epi32(va, vb), _mm256_unpackhi_epi32(va, vb)))
+VUV_BIN(PAND, _mm256_and_si256(va, vb))
+VUV_BIN(POR, _mm256_or_si256(va, vb))
+VUV_BIN(PXOR, _mm256_xor_si256(va, vb))
+VUV_BIN(PANDN, _mm256_andnot_si256(va, vb))
+VUV_BIN(PCMPEQB, _mm256_cmpeq_epi8(va, vb))
+VUV_BIN(PCMPEQH, _mm256_cmpeq_epi16(va, vb))
+VUV_BIN(PCMPGTB, _mm256_cmpgt_epi8(va, vb))
+VUV_BIN(PCMPGTH, _mm256_cmpgt_epi16(va, vb))
+
+// Variable-count shifts match the reference's out-of-range behavior:
+// sll/srl produce 0 for counts >= width, sra saturates the count.
+VUV_SHIFT(PSLLH, _mm256_sll_epi16(va, cnt))
+VUV_SHIFT(PSRLH, _mm256_srl_epi16(va, cnt))
+VUV_SHIFT(PSRAH, _mm256_sra_epi16(va, cnt))
+VUV_SHIFT(PSLLW, _mm256_sll_epi32(va, cnt))
+VUV_SHIFT(PSRLW, _mm256_srl_epi32(va, cnt))
+VUV_SHIFT(PSRAW, _mm256_sra_epi32(va, cnt))
+VUV_SHIFT(PSLLD, _mm256_sll_epi64(va, cnt))
+VUV_SHIFT(PSRLD, _mm256_srl_epi64(va, cnt))
+
+#undef VUV_BIN
+#undef VUV_SHIFT
+
+void k_PSHUFH(u64* dst, const u64* a, i64 imm, i32 vl) {
+  // Build a per-128-bit-lane byte shuffle that performs the halfword
+  // select within each 64-bit element independently.
+  alignas(32) u8 ctrl[32];
+  for (int half = 0; half < 2; ++half)
+    for (int l = 0; l < 4; ++l) {
+      const int s = static_cast<int>((imm >> (2 * l)) & 3);
+      ctrl[8 * half + 2 * l] = static_cast<u8>(8 * half + 2 * s);
+      ctrl[8 * half + 2 * l + 1] = static_cast<u8>(8 * half + 2 * s + 1);
+    }
+  for (int i = 0; i < 16; ++i) ctrl[16 + i] = ctrl[i];
+  const __m256i vc = _mm256_load_si256(reinterpret_cast<const __m256i*>(ctrl));
+  for (i32 e = 0; e < vl; e += 4) store4(dst + e, _mm256_shuffle_epi8(load4(a + e), vc));
+}
+
+void k_vsadacc(i64* acc, const u64* a, const u64* b, i32 vl) {
+  // Per-byte-position |a-b| sums. Unlike the binary kernels this must not
+  // touch elements >= vl, so full chunks go vectorized and the tail is
+  // scalar. Max sum per position is 16 * 255 = 4080; per u16 slot at most
+  // 8 elements contribute (2040), so 16-bit accumulation cannot overflow.
+  const i32 main = vl & ~3;
+  u64 sums[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  if (main > 0) {
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc16 = zero;
+    for (i32 e = 0; e < main; e += 4) {
+      const __m256i va = load4(a + e);
+      const __m256i vb = load4(b + e);
+      const __m256i diff =
+          _mm256_sub_epi8(_mm256_max_epu8(va, vb), _mm256_min_epu8(va, vb));
+      acc16 = _mm256_add_epi16(
+          acc16, _mm256_add_epi16(_mm256_unpacklo_epi8(diff, zero),
+                                  _mm256_unpackhi_epi8(diff, zero)));
+    }
+    alignas(32) u16 tmp[16];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), acc16);
+    for (int l = 0; l < 8; ++l) sums[l] = static_cast<u64>(tmp[l]) + static_cast<u64>(tmp[8 + l]);
+  }
+  for (i32 e = main; e < vl; ++e)
+    for (int l = 0; l < 8; ++l) {
+      const i64 x = static_cast<i64>(get_lane(a[e], l, 8));
+      const i64 y = static_cast<i64>(get_lane(b[e], l, 8));
+      sums[l] += static_cast<u64>(x > y ? x - y : y - x);
+    }
+  for (int l = 0; l < 8; ++l) acc[l] = acc_wrap(acc[l] + static_cast<i64>(sums[l]));
+}
+
+void k_vmach(i64* acc, const u64* a, const u64* b, i32 vl) {
+  // Per-halfword-position sum of signed 16x16 products. Each product fits
+  // 31 bits and at most 16 accumulate (< 2^35), so i64 lanes never
+  // overflow before the final 48-bit wrap.
+  const i32 main = vl & ~3;
+  i64 sums[4] = {0, 0, 0, 0};
+  if (main > 0) {
+    __m256i acc64 = _mm256_setzero_si256();
+    for (i32 e = 0; e < main; e += 4) {
+      const __m256i va = load4(a + e);
+      const __m256i vb = load4(b + e);
+      const __m256i lo16 = _mm256_mullo_epi16(va, vb);
+      const __m256i hi16 = _mm256_mulhi_epi16(va, vb);
+      const __m256i p02 = _mm256_unpacklo_epi16(lo16, hi16);  // products of e, e+2
+      const __m256i p13 = _mm256_unpackhi_epi16(lo16, hi16);  // products of e+1, e+3
+      acc64 = _mm256_add_epi64(acc64, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p02)));
+      acc64 = _mm256_add_epi64(acc64, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(p02, 1)));
+      acc64 = _mm256_add_epi64(acc64, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(p13)));
+      acc64 = _mm256_add_epi64(acc64, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(p13, 1)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(sums), acc64);
+  }
+  for (i32 e = main; e < vl; ++e)
+    for (int l = 0; l < 4; ++l)
+      sums[l] += get_lane_signed(a[e], l, 16) * get_lane_signed(b[e], l, 16);
+  for (int l = 0; l < 4; ++l) acc[l] = acc_wrap(acc[l] + sums[l]);
+}
+
+// The two kernel signatures differ in their third parameter, so plain
+// overload resolution routes each op into the right table slot.
+void set_kernel(KernelTable& t, int idx, BinKernel k) { t.binary[static_cast<size_t>(idx)] = k; }
+void set_kernel(KernelTable& t, int idx, ShiftKernel k) { t.shift[static_cast<size_t>(idx)] = k; }
+
+KernelTable build() {
+  KernelTable t = scalar_table();
+#define VUV_SET(name, ew, lat, nsrc, has_imm) \
+  set_kernel(t, packed_index(Opcode::M_##name), &k_##name);
+  VUV_PACKED_OPS(VUV_SET)
+#undef VUV_SET
+  t.vsadacc = &k_vsadacc;
+  t.vmach = &k_vmach;
+  return t;
+}
+
+}  // namespace
+
+const KernelTable& avx2_table() {
+  static const KernelTable t = build();
+  return t;
+}
+
+}  // namespace vuv::simd
+
+#endif  // VUV_KERNELS_AVX2

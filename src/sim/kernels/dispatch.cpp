@@ -1,0 +1,132 @@
+// Runtime kernel-level selection: VUV_SIMD env override, CPU capability
+// probe, and the active-table pointer lower_image() binds from.
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "sim/kernels/kernels.hpp"
+
+namespace vuv::simd {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if defined(VUV_KERNELS_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_neon() {
+#if defined(VUV_KERNELS_NEON) && defined(__ARM_NEON)
+  // NEON is mandatory on AArch64; if the TU compiled, the CPU has it.
+  return true;
+#else
+  return false;
+#endif
+}
+
+const KernelTable* table_for(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &scalar_table();
+#if defined(VUV_KERNELS_AVX2)
+    case Level::kAvx2:
+      return &avx2_table();
+#endif
+#if defined(VUV_KERNELS_NEON)
+    case Level::kNeon:
+      return &neon_table();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+bool level_available(Level level) {
+  switch (level) {
+    case Level::kScalar: return true;
+    case Level::kAvx2: return cpu_has_avx2();
+    case Level::kNeon: return cpu_has_neon();
+  }
+  return false;
+}
+
+Level parse_env(const char* value) {
+  const std::string v = value == nullptr ? "auto" : value;
+  const Level lvl = level_by_name(v);
+  if (!level_available(lvl))
+    throw Error("VUV_SIMD=" + v + " requested but the " + v +
+                " kernels are not available on this host");
+  return lvl;
+}
+
+struct Active {
+  Level level;
+  const KernelTable* table;
+};
+
+std::atomic<const Active*> g_active{nullptr};
+std::mutex g_init_mutex;
+
+const Active* resolve() {
+  const Active* cur = g_active.load(std::memory_order_acquire);
+  if (cur != nullptr) return cur;
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  cur = g_active.load(std::memory_order_relaxed);
+  if (cur != nullptr) return cur;
+  const Level lvl = parse_env(std::getenv("VUV_SIMD"));
+  static Active chosen;
+  chosen.level = lvl;
+  chosen.table = table_for(lvl);
+  g_active.store(&chosen, std::memory_order_release);
+  return &chosen;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kNeon: return "neon";
+  }
+  return "?";
+}
+
+Level level_by_name(const std::string& name) {
+  if (name.empty() || name == "auto") return available_levels().back();
+  if (name == "scalar") return Level::kScalar;
+  if (name == "avx2") return Level::kAvx2;
+  if (name == "neon") return Level::kNeon;
+  throw Error("unknown SIMD level '" + name +
+              "' (expected scalar|avx2|neon|auto)");
+}
+
+std::vector<Level> available_levels() {
+  std::vector<Level> out{Level::kScalar};
+  if (cpu_has_avx2()) out.push_back(Level::kAvx2);
+  if (cpu_has_neon()) out.push_back(Level::kNeon);
+  return out;
+}
+
+Level active_level() { return resolve()->level; }
+
+void set_level(Level level) {
+  if (!level_available(level))
+    throw Error(std::string("SIMD level '") + level_name(level) +
+                "' is not available on this host");
+  std::lock_guard<std::mutex> lock(g_init_mutex);
+  // One slot per level so pointers handed out earlier stay valid.
+  static Active slots[3];
+  Active& slot = slots[static_cast<int>(level)];
+  slot.level = level;
+  slot.table = table_for(level);
+  g_active.store(&slot, std::memory_order_release);
+}
+
+const KernelTable& active_table() { return *resolve()->table; }
+
+}  // namespace vuv::simd

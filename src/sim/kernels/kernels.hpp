@@ -1,0 +1,100 @@
+// Runtime-dispatched host-SIMD kernels for the vector lane loops.
+//
+// The replay loop in cpu.cpp executes three bulk ExecKinds — kVecPacked,
+// kVsadacc, kVmach — whose work is VL (≤ 16) independent 64-bit words of
+// packed subword arithmetic. This layer provides one kernel per packed
+// opcode per implementation level; lower_image() prebinds the chosen
+// function pointer into each DecodedOp, so the hot loop performs a single
+// indirect call with no per-element opcode dispatch.
+//
+// Levels:
+//   kScalar — portable reference loop over packed_ref.hpp (always built);
+//   kAvx2   — 256-bit x86 kernels, built when the toolchain accepts -mavx2
+//             and used when the CPU reports AVX2 at runtime;
+//   kNeon   — 128-bit AArch64 kernels, same pattern.
+//
+// Selection happens once, lazily: the environment variable VUV_SIMD
+// (scalar | avx2 | neon | auto, default auto = best available) picks the
+// level; naming an unavailable or unknown level is a hard error, never a
+// silent fallback. set_level() re-points the active table for tests that
+// compare levels in-process; images lowered afterwards pick up the new
+// table (prebound pointers in existing images are unaffected).
+//
+// Kernel contract:
+//   - binary/shift kernels may process elements in chunks of 4 and thus
+//     read AND write lanes [vl, 16) of the operand/destination arrays
+//     (VecValue is always a full std::array<u64,16>); the caller re-zeroes
+//     dst lanes >= vl afterwards, exactly as the pre-existing scalar path
+//     did. Chunked stores never pass index 15 since vl <= 16.
+//   - accumulator kernels (vsadacc/vmach) must NOT over-read: they reduce
+//     into 8 (resp. 4) i64 lanes and every store must equal
+//     acc_wrap(old + contribution) summed over e < vl only.
+//   - all kernels must be bit-identical to the scalar level for every
+//     input; tests/simd_parity_test.cpp enforces this per-op and end-to-end.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/error.hpp"
+#include "isa/opcode.hpp"
+
+namespace vuv::simd {
+
+enum class Level : u8 { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Lowercase name as accepted by VUV_SIMD and reported by vuv_perf.
+const char* level_name(Level level);
+
+/// Inverse of level_name, plus "auto" (and "") = best available level.
+/// Throws Error on an unknown name; availability of the named level is
+/// checked by set_level, not here.
+Level level_by_name(const std::string& name);
+
+/// Dense index of a µSIMD packed opcode into the kernel tables.
+constexpr int kNumPackedOps =
+    static_cast<int>(Opcode::M_PSHUFH) - static_cast<int>(Opcode::M_PADDB) + 1;
+
+constexpr int packed_index(Opcode m_op) {
+  return static_cast<int>(m_op) - static_cast<int>(Opcode::M_PADDB);
+}
+
+// dst/a/b point at VecValue::data() (16 x u64); acc at AccValue::data()
+// (8 x i64). vl is the active vector length, 1..16.
+using BinKernel = void (*)(u64* dst, const u64* a, const u64* b, i32 vl);
+using ShiftKernel = void (*)(u64* dst, const u64* a, i64 imm, i32 vl);
+using AccKernel = void (*)(i64* acc, const u64* a, const u64* b, i32 vl);
+
+struct KernelTable {
+  std::array<BinKernel, kNumPackedOps> binary{};
+  std::array<ShiftKernel, kNumPackedOps> shift{};
+  AccKernel vsadacc = nullptr;
+  AccKernel vmach = nullptr;
+};
+
+/// Levels compiled in AND usable on this CPU, best last. kScalar is always
+/// present.
+std::vector<Level> available_levels();
+
+/// The level lower_image() binds kernels from. First call resolves
+/// VUV_SIMD; throws Error on an unknown name or an unavailable level.
+Level active_level();
+
+/// Force a level (test hook and --simd flag). Throws Error if the level is
+/// not in available_levels().
+void set_level(Level level);
+
+/// Kernel table for the active level.
+const KernelTable& active_table();
+
+// Per-level table builders (dispatch.cpp wires them up; scalar is the
+// fallback every specialized table starts from).
+const KernelTable& scalar_table();
+#if defined(VUV_KERNELS_AVX2)
+const KernelTable& avx2_table();
+#endif
+#if defined(VUV_KERNELS_NEON)
+const KernelTable& neon_table();
+#endif
+
+}  // namespace vuv::simd

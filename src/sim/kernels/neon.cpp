@@ -1,0 +1,103 @@
+// NEON kernel level (AArch64): 128-bit host vectors process two 64-bit
+// simulated words per step. Compiled only when the toolchain targets ARM
+// with NEON (see cmake/SimdKernels.cmake).
+//
+// Deliberately a subset: only ops with a direct, unambiguous NEON mapping
+// are specialized; everything else keeps the scalar entry the table is
+// seeded with. The cross-dispatch parity suite validates whatever subset
+// is built on the running host.
+#include "sim/kernels/kernels.hpp"
+
+#if defined(VUV_KERNELS_NEON) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace vuv::simd {
+
+namespace {
+
+inline uint8x16_t load2_u8(const u64* p) {
+  return vreinterpretq_u8_u64(vld1q_u64(p));
+}
+inline void store2_u8(u64* p, uint8x16_t v) { vst1q_u64(p, vreinterpretq_u64_u8(v)); }
+
+#define VUV_BIN(NAME, EXPR)                                       \
+  void k_##NAME(u64* dst, const u64* a, const u64* b, i32 vl) {   \
+    for (i32 e = 0; e < vl; e += 2) {                             \
+      const uint8x16_t va = load2_u8(a + e);                      \
+      const uint8x16_t vb = load2_u8(b + e);                      \
+      store2_u8(dst + e, (EXPR));                                 \
+    }                                                             \
+  }
+
+#define U16(v) vreinterpretq_u16_u8(v)
+#define U32(v) vreinterpretq_u32_u8(v)
+#define U64(v) vreinterpretq_u64_u8(v)
+#define S8(v) vreinterpretq_s8_u8(v)
+#define S16(v) vreinterpretq_s16_u8(v)
+#define R_U16(v) vreinterpretq_u8_u16(v)
+#define R_U32(v) vreinterpretq_u8_u32(v)
+#define R_U64(v) vreinterpretq_u8_u64(v)
+#define R_S8(v) vreinterpretq_u8_s8(v)
+#define R_S16(v) vreinterpretq_u8_s16(v)
+
+VUV_BIN(PADDB, vaddq_u8(va, vb))
+VUV_BIN(PADDH, R_U16(vaddq_u16(U16(va), U16(vb))))
+VUV_BIN(PADDW, R_U32(vaddq_u32(U32(va), U32(vb))))
+VUV_BIN(PADDSB, R_S8(vqaddq_s8(S8(va), S8(vb))))
+VUV_BIN(PADDSH, R_S16(vqaddq_s16(S16(va), S16(vb))))
+VUV_BIN(PADDUSB, vqaddq_u8(va, vb))
+VUV_BIN(PADDUSH, R_U16(vqaddq_u16(U16(va), U16(vb))))
+VUV_BIN(PSUBB, vsubq_u8(va, vb))
+VUV_BIN(PSUBH, R_U16(vsubq_u16(U16(va), U16(vb))))
+VUV_BIN(PSUBW, R_U32(vsubq_u32(U32(va), U32(vb))))
+VUV_BIN(PSUBSB, R_S8(vqsubq_s8(S8(va), S8(vb))))
+VUV_BIN(PSUBSH, R_S16(vqsubq_s16(S16(va), S16(vb))))
+VUV_BIN(PSUBUSB, vqsubq_u8(va, vb))
+VUV_BIN(PSUBUSH, R_U16(vqsubq_u16(U16(va), U16(vb))))
+VUV_BIN(PMULLH, R_S16(vmulq_s16(S16(va), S16(vb))))
+VUV_BIN(PAVGB, vrhaddq_u8(va, vb))
+VUV_BIN(PAVGH, R_U16(vrhaddq_u16(U16(va), U16(vb))))
+VUV_BIN(PMINUB, vminq_u8(va, vb))
+VUV_BIN(PMAXUB, vmaxq_u8(va, vb))
+VUV_BIN(PMINSH, R_S16(vminq_s16(S16(va), S16(vb))))
+VUV_BIN(PMAXSH, R_S16(vmaxq_s16(S16(va), S16(vb))))
+VUV_BIN(PAND, R_U64(vandq_u64(U64(va), U64(vb))))
+VUV_BIN(POR, R_U64(vorrq_u64(U64(va), U64(vb))))
+VUV_BIN(PXOR, R_U64(veorq_u64(U64(va), U64(vb))))
+// reference PANDN is ~a & b; NEON BIC computes first & ~second.
+VUV_BIN(PANDN, R_U64(vbicq_u64(U64(vb), U64(va))))
+VUV_BIN(PCMPEQB, vceqq_u8(va, vb))
+VUV_BIN(PCMPEQH, R_U16(vceqq_u16(U16(va), U16(vb))))
+VUV_BIN(PCMPGTB, vcgtq_s8(S8(va), S8(vb)))
+VUV_BIN(PCMPGTH, R_U16(vcgtq_s16(S16(va), S16(vb))))
+
+#undef VUV_BIN
+
+void set_kernel(KernelTable& t, int idx, BinKernel k) { t.binary[static_cast<size_t>(idx)] = k; }
+
+KernelTable build() {
+  KernelTable t = scalar_table();
+#define VUV_SET(NAME) set_kernel(t, packed_index(Opcode::M_##NAME), &k_##NAME);
+  VUV_SET(PADDB) VUV_SET(PADDH) VUV_SET(PADDW)
+  VUV_SET(PADDSB) VUV_SET(PADDSH) VUV_SET(PADDUSB) VUV_SET(PADDUSH)
+  VUV_SET(PSUBB) VUV_SET(PSUBH) VUV_SET(PSUBW)
+  VUV_SET(PSUBSB) VUV_SET(PSUBSH) VUV_SET(PSUBUSB) VUV_SET(PSUBUSH)
+  VUV_SET(PMULLH) VUV_SET(PAVGB) VUV_SET(PAVGH)
+  VUV_SET(PMINUB) VUV_SET(PMAXUB) VUV_SET(PMINSH) VUV_SET(PMAXSH)
+  VUV_SET(PAND) VUV_SET(POR) VUV_SET(PXOR) VUV_SET(PANDN)
+  VUV_SET(PCMPEQB) VUV_SET(PCMPEQH) VUV_SET(PCMPGTB) VUV_SET(PCMPGTH)
+#undef VUV_SET
+  return t;
+}
+
+}  // namespace
+
+const KernelTable& neon_table() {
+  static const KernelTable t = build();
+  return t;
+}
+
+}  // namespace vuv::simd
+
+#endif  // VUV_KERNELS_NEON && __ARM_NEON

@@ -1,0 +1,67 @@
+// Scalar kernel level: the reference semantics specialized per opcode.
+//
+// Each kernel instantiates packed_{binary,shift}_ref with a compile-time
+// constant opcode, so the opcode switch folds away and every kernel is the
+// plain per-element loop the interpreter used to run — minus the per-element
+// dispatch. This level is always available and is the oracle the AVX2/NEON
+// levels are tested against.
+#include "sim/kernels/kernels.hpp"
+#include "sim/kernels/packed_ref.hpp"
+
+namespace vuv::simd {
+
+namespace {
+
+template <Opcode O>
+void bin_kernel(u64* dst, const u64* a, const u64* b, i32 vl) {
+  for (i32 e = 0; e < vl; ++e)
+    dst[static_cast<size_t>(e)] =
+        packed_binary_ref(O, a[static_cast<size_t>(e)], b[static_cast<size_t>(e)]);
+}
+
+template <Opcode O>
+void shift_kernel(u64* dst, const u64* a, i64 imm, i32 vl) {
+  for (i32 e = 0; e < vl; ++e)
+    dst[static_cast<size_t>(e)] = packed_shift_ref(O, a[static_cast<size_t>(e)], imm);
+}
+
+void vsadacc_kernel(i64* acc, const u64* a, const u64* b, i32 vl) {
+  for (i32 e = 0; e < vl; ++e)
+    for (int l = 0; l < 8; ++l) {
+      const i64 x = static_cast<i64>(get_lane(a[static_cast<size_t>(e)], l, 8));
+      const i64 y = static_cast<i64>(get_lane(b[static_cast<size_t>(e)], l, 8));
+      acc[l] = acc_wrap(acc[l] + (x > y ? x - y : y - x));
+    }
+}
+
+void vmach_kernel(i64* acc, const u64* a, const u64* b, i32 vl) {
+  for (i32 e = 0; e < vl; ++e)
+    for (int l = 0; l < 4; ++l) {
+      const i64 x = get_lane_signed(a[static_cast<size_t>(e)], l, 16);
+      const i64 y = get_lane_signed(b[static_cast<size_t>(e)], l, 16);
+      acc[l] = acc_wrap(acc[l] + x * y);
+    }
+}
+
+KernelTable build() {
+  KernelTable t;
+#define VUV_K(name, ew, lat, nsrc, has_imm)                                   \
+  if constexpr (has_imm)                                                      \
+    t.shift[packed_index(Opcode::M_##name)] = &shift_kernel<Opcode::M_##name>; \
+  else                                                                        \
+    t.binary[packed_index(Opcode::M_##name)] = &bin_kernel<Opcode::M_##name>;
+  VUV_PACKED_OPS(VUV_K)
+#undef VUV_K
+  t.vsadacc = &vsadacc_kernel;
+  t.vmach = &vmach_kernel;
+  return t;
+}
+
+}  // namespace
+
+const KernelTable& scalar_table() {
+  static const KernelTable t = build();
+  return t;
+}
+
+}  // namespace vuv::simd

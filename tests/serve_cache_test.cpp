@@ -9,6 +9,8 @@
 // report writer with zero compiles and zero simulations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -249,6 +251,61 @@ TEST_F(ServeCache, LruSweepBoundsTheDirectoryAndKeepsTouchedEntries) {
   EXPECT_TRUE(cache.load("k|0").has_value());  // survived: recently touched
   EXPECT_TRUE(cache.load("k|6").has_value());
   EXPECT_FALSE(cache.load("k|1").has_value());  // oldest: swept
+}
+
+TEST_F(ServeCache, HitRefreshOutrunsSkewedAndEqualMtimes) {
+  // A writer on a shared cache directory can stamp entries ahead of this
+  // process's clock (clock skew between daemons, coarse-mtime roundup).
+  // A hit's recency refresh must never move an entry *backwards* relative
+  // to its peers — otherwise touching an entry demotes it to the eviction
+  // front. Reproduced by stamping two entries into the future: after a
+  // hit on k|0, a sweep must not pick it as the victim.
+  ResultCache cache = make(/*max_entries=*/2);
+  cache.store("k|0", make_result(0));
+  cache.store("k|1", make_result(1));
+  const auto future =
+      fs::file_time_type::clock::now() + std::chrono::hours(1);
+  fs::last_write_time(cache.path_for("k|0"), future);
+  fs::last_write_time(cache.path_for("k|1"), future);
+
+  ASSERT_TRUE(cache.load("k|0").has_value());  // refresh must be monotone
+  EXPECT_GT(fs::last_write_time(cache.path_for("k|0")), future);
+
+  cache.store("k|2", make_result(2));  // exceeds the bound: one eviction
+  EXPECT_EQ(cache.stats().evicted, 1);
+  EXPECT_TRUE(cache.load("k|0").has_value());  // survived: just touched
+}
+
+TEST_F(ServeCache, LruSweepEvictionIsDeterministicOnEqualMtimes) {
+  // Coarse filesystem timestamps make whole batches of entries share one
+  // mtime; the sweep breaks those ties by path, so which entries go is a
+  // pure function of the directory contents — two daemons sweeping the
+  // same state agree on the victims.
+  {
+    ResultCache unbounded = make(/*max_entries=*/0);
+    const auto past =
+        fs::file_time_type::clock::now() - std::chrono::hours(1);
+    for (int i = 0; i < 6; ++i) {
+      unbounded.store("k|" + std::to_string(i), make_result(i));
+      fs::last_write_time(unbounded.path_for("k|" + std::to_string(i)), past);
+    }
+  }
+  ResultCache cache = make(/*max_entries=*/3);
+  cache.store("k|6", make_result(6));  // 7 entries: sweeps down to 3
+
+  // Of the six equal-mtime entries, exactly the two with the greatest
+  // paths survive (plus the fresh k|6).
+  std::vector<std::string> keys;
+  for (int i = 0; i < 6; ++i) keys.push_back("k|" + std::to_string(i));
+  std::sort(keys.begin(), keys.end(), [&](const auto& a, const auto& b) {
+    return cache.path_for(a) < cache.path_for(b);
+  });
+  EXPECT_EQ(cache.stats().evicted, 4);
+  for (size_t i = 0; i < 4; ++i)
+    EXPECT_FALSE(cache.load(keys[i]).has_value()) << keys[i];
+  for (size_t i = 4; i < 6; ++i)
+    EXPECT_TRUE(cache.load(keys[i]).has_value()) << keys[i];
+  EXPECT_TRUE(cache.load("k|6").has_value());
 }
 
 // ---- Runner integration -----------------------------------------------------

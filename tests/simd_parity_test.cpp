@@ -1,0 +1,294 @@
+// Host-SIMD kernel parity lock (see src/sim/kernels/kernels.hpp): every
+// specialized kernel level available on this host must be bit-identical to
+// the scalar reference level, per kernel and end-to-end.
+//
+// Three layers of evidence:
+//   - per-op: each AVX2/NEON kernel vs its scalar twin over every vl in
+//     1..16, on saturation-corner and random inputs (binary/shift kernels
+//     compare lanes < vl only — the contract lets chunked kernels write
+//     the tail; accumulator kernels compare every lane, they must not
+//     over-read);
+//   - end-to-end: the 72-cell locked matrix of sim_equivalence_test rerun
+//     under each level must reproduce every SimResult field and render
+//     byte-identical reports vs the scalar run;
+//   - corpus: every committed fuzz-corpus entry replays through the
+//     differential oracle under each level.
+//
+// A failure here means a kernel computes different *values* than the
+// reference semantics of packed_ref.hpp — simulated timing cannot differ
+// by construction (DESIGN.md, "Host SIMD lane kernels").
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "ref/diff.hpp"
+#include "ref/gen.hpp"
+#include "runner/report.hpp"
+#include "runner/runner.hpp"
+#include "sim/kernels/kernels.hpp"
+
+namespace vuv {
+namespace {
+
+/// The levels to verify against scalar (empty on a scalar-only host, in
+/// which case the suite degenerates to scalar-vs-scalar and still checks
+/// the harness itself).
+std::vector<simd::Level> specialized_levels() {
+  std::vector<simd::Level> out;
+  for (simd::Level l : simd::available_levels())
+    if (l != simd::Level::kScalar) out.push_back(l);
+  return out;
+}
+
+// ---- per-op kernel parity ---------------------------------------------------
+
+/// Saturation/overflow corner words every packed element width trips on.
+constexpr u64 kCorners[] = {
+    0ull,
+    ~0ull,
+    0x8000800080008000ull,  // INT16_MIN lanes
+    0x7fff7fff7fff7fffull,  // INT16_MAX lanes
+    0x8080808080808080ull,  // INT8_MIN lanes
+    0x7f7f7f7f7f7f7f7full,  // INT8_MAX lanes
+    0x8000000080000000ull,  // INT32_MIN lanes
+    0x0001000100010001ull,
+    0xffff0000ffff0000ull,
+};
+constexpr size_t kNumCorners = sizeof(kCorners) / sizeof(kCorners[0]);
+
+std::array<u64, 16> make_operand(std::mt19937_64& rng, int rep) {
+  std::array<u64, 16> w{};
+  for (size_t e = 0; e < w.size(); ++e)
+    // First rounds sweep the corner values across lanes; later rounds are
+    // uniform random.
+    w[e] = rep < 4 ? kCorners[(e + static_cast<size_t>(rep) * 3) % kNumCorners]
+                   : rng();
+  return w;
+}
+
+TEST(SimdKernelParity, EveryKernelMatchesScalarForEveryVl) {
+  const simd::KernelTable& ref = simd::scalar_table();
+  constexpr i64 kShiftImms[] = {0, 1, 3, 7, 15, 16, 31, 32, 63, 64, 0xE4, 0x1B};
+  std::mt19937_64 rng(0x5eedc0de);
+
+  for (simd::Level lvl : specialized_levels()) {
+    simd::set_level(lvl);
+    const simd::KernelTable& kt = simd::active_table();
+    SCOPED_TRACE(simd::level_name(lvl));
+
+    for (int i = 0; i < simd::kNumPackedOps; ++i) {
+      const Opcode op =
+          static_cast<Opcode>(static_cast<int>(Opcode::M_PADDB) + i);
+      SCOPED_TRACE(op_name(op));
+      for (i32 vl = 1; vl <= 16; ++vl) {
+        for (int rep = 0; rep < 10; ++rep) {
+          const std::array<u64, 16> a = make_operand(rng, rep);
+          const std::array<u64, 16> b = make_operand(rng, rep + 1);
+          if (ref.binary[static_cast<size_t>(i)]) {
+            ASSERT_NE(kt.binary[static_cast<size_t>(i)], nullptr);
+            std::array<u64, 16> want{}, got{};
+            ref.binary[static_cast<size_t>(i)](want.data(), a.data(),
+                                               b.data(), vl);
+            kt.binary[static_cast<size_t>(i)](got.data(), a.data(), b.data(),
+                                              vl);
+            for (i32 e = 0; e < vl; ++e)
+              ASSERT_EQ(got[static_cast<size_t>(e)],
+                        want[static_cast<size_t>(e)])
+                  << "vl=" << vl << " lane=" << e << " rep=" << rep;
+          }
+          if (ref.shift[static_cast<size_t>(i)]) {
+            ASSERT_NE(kt.shift[static_cast<size_t>(i)], nullptr);
+            for (const i64 imm : kShiftImms) {
+              std::array<u64, 16> want{}, got{};
+              ref.shift[static_cast<size_t>(i)](want.data(), a.data(), imm,
+                                                vl);
+              kt.shift[static_cast<size_t>(i)](got.data(), a.data(), imm, vl);
+              for (i32 e = 0; e < vl; ++e)
+                ASSERT_EQ(got[static_cast<size_t>(e)],
+                          want[static_cast<size_t>(e)])
+                    << "vl=" << vl << " lane=" << e << " imm=" << imm;
+            }
+          }
+        }
+      }
+    }
+
+    // Accumulator kernels: full-array compare from a shared random start —
+    // lanes past the reduction width must stay untouched.
+    for (i32 vl = 1; vl <= 16; ++vl) {
+      for (int rep = 0; rep < 10; ++rep) {
+        const std::array<u64, 16> a = make_operand(rng, rep);
+        const std::array<u64, 16> b = make_operand(rng, rep + 2);
+        std::array<i64, 8> seed{};
+        for (auto& v : seed)
+          v = static_cast<i64>(rng()) >> (rep < 4 ? 32 : 8);
+        std::array<i64, 8> want = seed, got = seed;
+        ref.vsadacc(want.data(), a.data(), b.data(), vl);
+        kt.vsadacc(got.data(), a.data(), b.data(), vl);
+        EXPECT_EQ(got, want) << "vsadacc vl=" << vl << " rep=" << rep;
+        want = seed;
+        got = seed;
+        ref.vmach(want.data(), a.data(), b.data(), vl);
+        kt.vmach(got.data(), a.data(), b.data(), vl);
+        EXPECT_EQ(got, want) << "vmach vl=" << vl << " rep=" << rep;
+      }
+    }
+  }
+}
+
+// ---- end-to-end matrix parity -----------------------------------------------
+
+/// The locked matrix of tests/sim_equivalence_test.cpp: the 72 cells pinned
+/// from the seed simulator plus the imgpipe rows.
+SweepSpec locked_spec() {
+  SweepSpec spec =
+      SweepSpec::matrix(table1_apps(), MachineConfig::all_table2(), {false});
+  for (const MachineConfig& cfg : MachineConfig::all_table2())
+    if (cfg.name == "VLIW-4w" || cfg.name == "Vector2-4w")
+      for (App a : table1_apps()) spec.add(a, cfg, /*perfect=*/true);
+  for (const MachineConfig& cfg : MachineConfig::all_table2())
+    spec.add(App::kImgPipe, cfg, /*perfect=*/false);
+  for (const MachineConfig& cfg : MachineConfig::all_table2())
+    if (cfg.name == "VLIW-4w" || cfg.name == "Vector2-4w")
+      spec.add(App::kImgPipe, cfg, /*perfect=*/true);
+  return spec;
+}
+
+std::string render_all(const std::vector<CellOutcome>& outcomes) {
+  const BenchJsonReport json("simd_parity");
+  const CsvReport csv;
+  const TableReport table;
+  std::ostringstream os;
+  json.write(os, outcomes);
+  csv.write(os, outcomes);
+  table.write(os, outcomes);
+  return os.str();
+}
+
+void expect_same_result(const SimResult& got, const SimResult& want) {
+  EXPECT_EQ(got.config_name, want.config_name);
+  EXPECT_EQ(got.cycles, want.cycles);
+  EXPECT_EQ(got.stall_cycles, want.stall_cycles);
+  EXPECT_EQ(got.stalls.raw, want.stalls.raw);
+  EXPECT_EQ(got.stalls.fu_conflict, want.stalls.fu_conflict);
+  EXPECT_EQ(got.stalls.mem_latency, want.stalls.mem_latency);
+  EXPECT_EQ(got.taken_branches, want.taken_branches);
+  EXPECT_EQ(got.branch_bubbles, want.branch_bubbles);
+  ASSERT_EQ(got.regions.size(), want.regions.size());
+  for (size_t r = 0; r < got.regions.size(); ++r) {
+    SCOPED_TRACE(want.regions[r].name);
+    EXPECT_EQ(got.regions[r].name, want.regions[r].name);
+    EXPECT_EQ(got.regions[r].cycles, want.regions[r].cycles);
+    EXPECT_EQ(got.regions[r].ops, want.regions[r].ops);
+    EXPECT_EQ(got.regions[r].uops, want.regions[r].uops);
+    EXPECT_EQ(got.regions[r].words, want.regions[r].words);
+    EXPECT_EQ(got.regions[r].stalls.raw, want.regions[r].stalls.raw);
+    EXPECT_EQ(got.regions[r].stalls.fu_conflict,
+              want.regions[r].stalls.fu_conflict);
+    EXPECT_EQ(got.regions[r].stalls.mem_latency,
+              want.regions[r].stalls.mem_latency);
+  }
+  const MemStats& gm = got.mem;
+  const MemStats& wm = want.mem;
+  EXPECT_EQ(gm.scalar_accesses, wm.scalar_accesses);
+  EXPECT_EQ(gm.l1_hits, wm.l1_hits);
+  EXPECT_EQ(gm.l1_misses, wm.l1_misses);
+  EXPECT_EQ(gm.vector_accesses, wm.vector_accesses);
+  EXPECT_EQ(gm.vector_nonunit_stride, wm.vector_nonunit_stride);
+  EXPECT_EQ(gm.l2_hits, wm.l2_hits);
+  EXPECT_EQ(gm.l2_misses, wm.l2_misses);
+  EXPECT_EQ(gm.l2_scalar_hits, wm.l2_scalar_hits);
+  EXPECT_EQ(gm.l2_scalar_misses, wm.l2_scalar_misses);
+  EXPECT_EQ(gm.l3_hits, wm.l3_hits);
+  EXPECT_EQ(gm.l3_misses, wm.l3_misses);
+  EXPECT_EQ(gm.coherency_invalidations, wm.coherency_invalidations);
+  EXPECT_EQ(gm.coherency_writebacks, wm.coherency_writebacks);
+  EXPECT_EQ(gm.bank_pairs, wm.bank_pairs);
+}
+
+TEST(SimdParity, LockedMatrixMatchesScalarFieldByFieldAndByteForByte) {
+  const SweepSpec spec = locked_spec();
+
+  simd::set_level(simd::Level::kScalar);
+  std::vector<CellOutcome> golden;
+  {
+    Runner runner;
+    golden = runner.run(spec);
+  }
+  for (const CellOutcome& o : golden)
+    ASSERT_TRUE(o.result.verified)
+        << o.cell.key() << ": " << o.result.verify_error;
+  const std::string golden_report = render_all(golden);
+
+  for (simd::Level lvl : specialized_levels()) {
+    SCOPED_TRACE(simd::level_name(lvl));
+    simd::set_level(lvl);
+    Runner runner;
+    const std::vector<CellOutcome> outs = runner.run(spec);
+    ASSERT_EQ(outs.size(), golden.size());
+    for (size_t i = 0; i < outs.size(); ++i) {
+      SCOPED_TRACE(golden[i].cell.key());
+      ASSERT_EQ(outs[i].cell.key(), golden[i].cell.key());
+      EXPECT_TRUE(outs[i].result.verified) << outs[i].result.verify_error;
+      expect_same_result(outs[i].result.sim, golden[i].result.sim);
+    }
+    EXPECT_EQ(render_all(outs), golden_report)
+        << "reports must be byte-identical across kernel levels";
+  }
+  simd::set_level(simd::available_levels().back());
+}
+
+// ---- corpus replay parity ---------------------------------------------------
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(VUV_CORPUS_DIR))
+    if (entry.path().extension() == ".vuvgen")
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<MachineConfig> configs_for(Variant v) {
+  switch (v) {
+    case Variant::kScalar:
+      return {MachineConfig::vliw(2), MachineConfig::vliw(8)};
+    case Variant::kMusimd:
+      return {MachineConfig::musimd(2), MachineConfig::musimd(8)};
+    case Variant::kVector:
+      return {MachineConfig::vector1(2), MachineConfig::vector2(4)};
+  }
+  return {};
+}
+
+TEST(SimdParity, CorpusReplaysAgreeUnderEveryLevel) {
+  const std::vector<std::string> files = corpus_files();
+  ASSERT_GE(files.size(), 20u);
+  for (simd::Level lvl : simd::available_levels()) {
+    SCOPED_TRACE(simd::level_name(lvl));
+    simd::set_level(lvl);
+    for (const std::string& path : files) {
+      std::ifstream f(path);
+      ASSERT_TRUE(f.is_open()) << path;
+      std::ostringstream text;
+      text << f.rdbuf();
+      const GenProgram p = from_text(text.str());
+      for (const MachineConfig& cfg : configs_for(p.variant)) {
+        const GenBuilt built = materialize(p);
+        const DiffReport rep =
+            diff_program(built.program, built.ws->mem(), built.ws->used(), cfg);
+        EXPECT_TRUE(rep.ok) << path << " on " << cfg.name << ": " << rep.error;
+      }
+    }
+  }
+  simd::set_level(simd::available_levels().back());
+}
+
+}  // namespace
+}  // namespace vuv

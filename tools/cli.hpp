@@ -106,6 +106,20 @@ inline i32 parse_positive_int(const std::string& flag, const std::string& v) {
   return static_cast<i32>(n);
 }
 
+/// Parse a non-negative 64-bit integer option value (seed ids, counts).
+/// Same contract as parse_positive_int: non-numeric input, trailing junk,
+/// overflow and negative values all fail with the usage error instead of
+/// the silent-truncation/uncaught-exception behavior of a bare stoll.
+inline i64 parse_nonneg_i64(const std::string& flag, const std::string& v) {
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE || n < 0)
+    throw Error("invalid value for " + flag + ": '" + v +
+                "' (expected a non-negative integer)");
+  return static_cast<i64>(n);
+}
+
 /// Parse a strictly positive floating-point option value. Same contract
 /// as parse_positive_int: non-numeric input, trailing junk ("2.0x"),
 /// overflow, zero, negatives and non-finite values all fail with the

@@ -310,9 +310,9 @@ int main(int argc, char** argv) {
         const size_t colon = v.find(':');
         if (colon == std::string::npos)
           throw Error("--seeds expects A:B, got '" + v + "'");
-        seed_lo = std::stoll(v.substr(0, colon));
-        seed_hi = std::stoll(v.substr(colon + 1));
-        if (seed_lo < 0 || seed_hi <= seed_lo)
+        seed_lo = cli::parse_nonneg_i64(arg, v.substr(0, colon));
+        seed_hi = cli::parse_nonneg_i64(arg, v.substr(colon + 1));
+        if (seed_hi <= seed_lo)
           throw Error("--seeds expects 0 <= A < B");
       } else if (arg == "--variant") {
         variant = value();
